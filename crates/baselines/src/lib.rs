@@ -1,0 +1,24 @@
+//! Baseline adaptive-stream frameworks (Table VI of the paper).
+//!
+//! Every framework implements [`ficsum_eval::EvaluatedSystem`] so the same
+//! prequential runner measures kappa, C-F1 and runtime:
+//!
+//! * [`Htcd`] — a Hoeffding tree reset whenever ADWIN detects drift in its
+//!   error rate (single evolving model, no recurrence handling),
+//! * [`Rcd`] — the Recurring Concept Drift framework (Gonçalves & De Barros,
+//!   2013): per-concept stored observation windows, EDDM drift detection and
+//!   a two-sample statistical test for recurrence,
+//! * [`EnsembleSystem`] — adapter running DWM or ARF (one evolving ensemble
+//!   model, hence their flat C-F1 in the paper),
+//! * [`FicsumSystem`] — adapter exposing a [`ficsum_core::Ficsum`] instance
+//!   (any variant) to the runner.
+
+pub mod ensemble;
+pub mod ficsum_adapter;
+pub mod htcd;
+pub mod rcd;
+
+pub use ensemble::EnsembleSystem;
+pub use ficsum_adapter::FicsumSystem;
+pub use htcd::Htcd;
+pub use rcd::Rcd;

@@ -1,0 +1,54 @@
+//! Ablation study over the design choices DESIGN.md calls out: dynamic
+//! weighting, buffered incorporation, the delayed second selection pass,
+//! and fingerprint plasticity.
+
+use ficsum_baselines::FicsumSystem;
+use ficsum_bench::harness::{build_stream, metric, Options};
+use ficsum_core::{FicsumConfig, Variant};
+use ficsum_eval::{evaluate, format_cell, Table};
+use ficsum_stream::StreamSource;
+
+const DATASETS: [&str; 4] = ["STAGGER", "RTREE-U", "Arabic", "RBF"];
+
+fn variants() -> Vec<(&'static str, FicsumConfig)> {
+    let base = FicsumConfig::default();
+    vec![
+        ("full", base),
+        ("no second check", FicsumConfig { second_check: false, ..base }),
+        ("no plasticity", FicsumConfig { plasticity: false, ..base }),
+        ("no rebase", FicsumConfig { rebase_similarity: false, ..base }),
+        ("no buffer (b=1)", FicsumConfig { buffer_ratio: 0.014, ..base }),
+    ]
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let headers: Vec<&str> = std::iter::once("Configuration")
+        .chain(DATASETS.iter().copied())
+        .collect();
+    let mut kappa_table = Table::new(&headers);
+    let mut cf1_table = Table::new(&headers);
+    for (label, config) in variants() {
+        let mut kappa_cells = Vec::new();
+        let mut cf1_cells = Vec::new();
+        for name in DATASETS {
+            let results: Vec<_> = (0..opts.seeds)
+                .map(|seed| {
+                    let mut stream = build_stream(name, seed + 1, &opts);
+                    let (d, k) = (stream.dims(), stream.n_classes());
+                    let mut system = FicsumSystem::with_config(d, k, Variant::Full, config);
+                    evaluate(&mut system, &mut stream, k)
+                })
+                .collect();
+            kappa_cells.push(format_cell(&metric(&results, |r| r.kappa)));
+            cf1_cells.push(format_cell(&metric(&results, |r| r.c_f1)));
+        }
+        kappa_table.add_row(label, kappa_cells);
+        cf1_table.add_row(label, cf1_cells);
+        eprintln!("[ablations] {label} done");
+    }
+    println!("Ablations — kappa statistic\n");
+    println!("{}", kappa_table.render());
+    println!("Ablations — C-F1\n");
+    println!("{}", cf1_table.render());
+}

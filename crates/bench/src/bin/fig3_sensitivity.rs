@@ -1,0 +1,83 @@
+//! Figure 3: sensitivity of accuracy and runtime to the four FiCSUM
+//! parameters (window size w, buffer ratio, P_C, P_S) on the Arabic
+//! stand-in. Values are proportions relative to the base configuration
+//! (w=75, ratio=0.25, P_C=3, P_S=25), exactly like the paper's plot.
+
+use ficsum_baselines::FicsumSystem;
+use ficsum_bench::harness::{build_stream, Options};
+use ficsum_core::{FicsumConfig, Variant};
+use ficsum_eval::{evaluate, Table};
+use ficsum_stream::StreamSource;
+
+fn run(config: FicsumConfig, opts: &Options) -> (f64, f64) {
+    let mut acc = 0.0;
+    let mut rt = 0.0;
+    for seed in 0..opts.seeds {
+        let mut stream = build_stream("Arabic", seed + 1, opts);
+        let (d, k) = (stream.dims(), stream.n_classes());
+        let mut system = FicsumSystem::with_config(d, k, Variant::Full, config);
+        let r = evaluate(&mut system, &mut stream, k);
+        acc += r.accuracy;
+        rt += r.runtime_s;
+    }
+    (acc / opts.seeds as f64, rt / opts.seeds as f64)
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let base_config = FicsumConfig::default();
+    let (base_acc, base_rt) = run(base_config, &opts);
+    println!(
+        "base (w=75, ratio=0.25, P_C=3, P_S=25): accuracy={base_acc:.3} runtime={base_rt:.1}s\n"
+    );
+
+    let mut table = Table::new(&["Parameter", "Value", "Accuracy (prop of base)", "Runtime (prop)"]);
+    let sweeps: Vec<(&str, Vec<FicsumConfig>)> = vec![
+        (
+            "window w",
+            [25usize, 50, 100, 150]
+                .iter()
+                .map(|&w| FicsumConfig { window_size: w, ..base_config })
+                .collect(),
+        ),
+        (
+            "buffer ratio",
+            [0.05f64, 0.15, 0.5, 1.0]
+                .iter()
+                .map(|&r| FicsumConfig { buffer_ratio: r, ..base_config })
+                .collect(),
+        ),
+        (
+            "P_C",
+            [1usize, 6, 12, 24]
+                .iter()
+                .map(|&p| FicsumConfig { fingerprint_gap: p, ..base_config })
+                .collect(),
+        ),
+        (
+            "P_S",
+            [5usize, 50, 100, 200]
+                .iter()
+                .map(|&p| FicsumConfig { repository_gap: p, ..base_config })
+                .collect(),
+        ),
+    ];
+    for (label, configs) in sweeps {
+        for config in configs {
+            let value = match label {
+                "window w" => config.window_size.to_string(),
+                "buffer ratio" => format!("{:.2}", config.buffer_ratio),
+                "P_C" => config.fingerprint_gap.to_string(),
+                _ => config.repository_gap.to_string(),
+            };
+            let (acc, rt) = run(config, &opts);
+            table.add_row(
+                label,
+                vec![value, format!("{:.3}", acc / base_acc), format!("{:.3}", rt / base_rt)],
+            );
+            eprintln!("[fig3] {label} point done");
+        }
+    }
+    println!("Figure 3 — parameter sensitivity on Arabic\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,33 @@
+//! Table III: discrimination ability of ER / S-MI / U-MI / FiCSUM.
+//!
+//! Discrimination is measured as the mean gap between the active concept's
+//! similarity and each stored concept's similarity, in units of the normal
+//! similarity deviation (see `Ficsum::discrimination_probe`); the paper's
+//! unbounded similarity units differ, so compare *ranks within a row*, not
+//! absolute magnitudes.
+
+use ficsum_bench::harness::{metric, run_variant, Options, VARIANT_COLUMNS};
+use ficsum_eval::{format_cell, Table};
+use ficsum_synth::ALL_DATASETS;
+
+fn main() {
+    let opts = Options::from_args();
+    let mut table = Table::new(&["Dataset", "ER", "S-MI", "U-MI", "FiCSUM"]);
+    for spec in ALL_DATASETS {
+        if !opts.selected(spec.name) {
+            continue;
+        }
+        let mut cells = Vec::new();
+        for variant in VARIANT_COLUMNS {
+            let results: Vec<_> = (0..opts.seeds)
+                .map(|seed| run_variant(spec.name, variant, seed + 1, &opts))
+                .collect();
+            let discs = metric(&results, |r| r.discrimination.unwrap_or(0.0));
+            cells.push(format_cell(&discs));
+        }
+        table.add_row(spec.name, cells);
+        eprintln!("[table3] {} done", spec.name);
+    }
+    println!("Table III — discrimination ability (mean gap to impostor concepts, sigma units)\n");
+    println!("{}", table.render());
+}

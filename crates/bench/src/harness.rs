@@ -1,0 +1,198 @@
+//! Shared experiment harness: CLI options, system construction, seed
+//! aggregation and stream truncation.
+
+use ficsum_baselines::{EnsembleSystem, FicsumSystem, Htcd, Rcd};
+use ficsum_core::{FicsumConfig, Variant};
+use ficsum_eval::{evaluate, EvaluatedSystem, RunResult};
+use ficsum_stream::{StreamSource, VecStream};
+use ficsum_synth::dataset_by_name;
+
+/// Common experiment options parsed from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Number of seeds per configuration (paper: 20; default here: 2 —
+    /// single-core budget).
+    pub seeds: u64,
+    /// Quick mode: 1 seed and streams truncated to 12k observations.
+    pub quick: bool,
+    /// Optional dataset filter (case-insensitive substring).
+    pub only: Option<String>,
+}
+
+impl Options {
+    /// Parses `--seeds N`, `--quick`, `--only NAME`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Options { seeds: 2, quick: false, only: None };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seeds" => {
+                    opts.seeds = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seeds requires a number");
+                    i += 1;
+                }
+                "--quick" => opts.quick = true,
+                "--only" => {
+                    opts.only = args.get(i + 1).cloned();
+                    i += 1;
+                }
+                other => {
+                    panic!("unknown option {other}; supported: --seeds N, --quick, --only NAME")
+                }
+            }
+            i += 1;
+        }
+        if opts.quick {
+            opts.seeds = 1;
+        }
+        opts
+    }
+
+    /// Effective stream cap.
+    pub fn stream_cap(&self) -> usize {
+        if self.quick {
+            12_000
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// Whether `name` passes the dataset filter.
+    pub fn selected(&self, name: &str) -> bool {
+        match &self.only {
+            Some(f) => name.to_lowercase().contains(&f.to_lowercase()),
+            None => true,
+        }
+    }
+}
+
+/// Builds a dataset stream, truncated to the option cap.
+pub fn build_stream(name: &str, seed: u64, opts: &Options) -> VecStream {
+    let stream = dataset_by_name(name, seed).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    truncate(stream, opts.stream_cap())
+}
+
+/// Truncates a stream to at most `cap` observations.
+pub fn truncate(stream: VecStream, cap: usize) -> VecStream {
+    if stream.len() <= cap {
+        return stream;
+    }
+    let n_classes = stream.n_classes();
+    let data: Vec<_> = stream.observations().iter().take(cap).cloned().collect();
+    VecStream::with_classes(data, n_classes)
+}
+
+/// The four fingerprint variants of Tables III and IV, in paper column
+/// order.
+pub const VARIANT_COLUMNS: [Variant; 4] =
+    [Variant::ErrorRate, Variant::Supervised, Variant::Unsupervised, Variant::Full];
+
+/// Runs one FiCSUM variant over one dataset/seed.
+pub fn run_variant(name: &str, variant: Variant, seed: u64, opts: &Options) -> RunResult {
+    let mut stream = build_stream(name, seed, opts);
+    let (d, k) = (stream.dims(), stream.n_classes());
+    let mut system = FicsumSystem::with_config(d, k, variant, FicsumConfig::default());
+    evaluate(&mut system, &mut stream, k)
+}
+
+/// A framework row of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framework {
+    /// Hoeffding tree + ADWIN reset.
+    Htcd,
+    /// Recurring Concept Drift framework.
+    Rcd,
+    /// FiCSUM restricted to error rate.
+    ErrorRate,
+    /// Dynamic Weighted Majority.
+    Dwm,
+    /// Adaptive Random Forest.
+    Arf,
+    /// Full FiCSUM.
+    Ficsum,
+}
+
+impl Framework {
+    /// All Table VI rows, in paper order.
+    pub const ALL: [Framework; 6] = [
+        Framework::Htcd,
+        Framework::Rcd,
+        Framework::ErrorRate,
+        Framework::Dwm,
+        Framework::Arf,
+        Framework::Ficsum,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Htcd => "HTCD",
+            Framework::Rcd => "RCD",
+            Framework::ErrorRate => "ER",
+            Framework::Dwm => "DWM",
+            Framework::Arf => "ARF",
+            Framework::Ficsum => "FiCSUM",
+        }
+    }
+
+    /// Builds the system for a `d`-feature, `k`-class stream.
+    pub fn build(&self, d: usize, k: usize) -> Box<dyn EvaluatedSystem> {
+        match self {
+            Framework::Htcd => Box::new(Htcd::new(d, k)),
+            Framework::Rcd => Box::new(Rcd::new(d, k)),
+            Framework::ErrorRate => Box::new(FicsumSystem::new(d, k, Variant::ErrorRate)),
+            Framework::Dwm => Box::new(EnsembleSystem::dwm(d, k)),
+            Framework::Arf => Box::new(EnsembleSystem::arf(d, k)),
+            Framework::Ficsum => Box::new(FicsumSystem::new(d, k, Variant::Full)),
+        }
+    }
+}
+
+/// Runs a framework over one dataset/seed.
+pub fn run_framework(name: &str, framework: Framework, seed: u64, opts: &Options) -> RunResult {
+    let mut stream = build_stream(name, seed, opts);
+    let (d, k) = (stream.dims(), stream.n_classes());
+    let mut system = framework.build(d, k);
+    evaluate(&mut system, &mut stream, k)
+}
+
+/// Extracts one metric across per-seed results.
+pub fn metric(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> Vec<f64> {
+    results.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_caps_length() {
+        let s = build_stream("CMC", 1, &Options { seeds: 1, quick: false, only: None });
+        let t = truncate(s.clone(), 100);
+        assert_eq!(t.len(), 100);
+        let untouched = truncate(s.clone(), usize::MAX);
+        assert_eq!(untouched.len(), s.len());
+    }
+
+    #[test]
+    fn frameworks_build_for_any_shape() {
+        for f in Framework::ALL {
+            let mut sys = f.build(4, 3);
+            let (p, _) = sys.step(&[0.1, 0.2, 0.3, 0.4], 1);
+            assert!(p < 3);
+            assert_eq!(sys.name(), f.name());
+        }
+    }
+
+    #[test]
+    fn selection_filter() {
+        let o = Options { seeds: 1, quick: false, only: Some("stag".into()) };
+        assert!(o.selected("STAGGER"));
+        assert!(!o.selected("RBF"));
+        let all = Options { seeds: 1, quick: false, only: None };
+        assert!(all.selected("anything"));
+    }
+}

@@ -1,0 +1,4 @@
+//! Experiment binaries reproducing the paper's tables and figures.
+//! See the `bin/` directory; shared helpers live in [`harness`].
+
+pub mod harness;

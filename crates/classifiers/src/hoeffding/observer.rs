@@ -1,0 +1,224 @@
+//! Gaussian numeric attribute observer for Hoeffding-tree leaves.
+//!
+//! Each leaf keeps, per attribute, one Gaussian estimator per class plus the
+//! observed attribute range. Candidate binary splits are evaluated by
+//! projecting each class's Gaussian mass onto the two sides of a threshold
+//! (the scheme of MOA's `GaussianNumericAttributeClassObserver`).
+
+use ficsum_stream::RunningStats;
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (maximum absolute error ~1.5e-7, ample for split scoring).
+pub fn normal_cdf(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 {
+        return if x < mean { 0.0 } else { 1.0 };
+    }
+    let z = (x - mean) / (std * std::f64::consts::SQRT_2);
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Shannon entropy (log2) of a non-negative count vector.
+pub fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// A candidate binary split on a numeric attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCandidate {
+    /// Threshold: observations with `x <= threshold` go left.
+    pub threshold: f64,
+    /// Information gain of the split.
+    pub merit: f64,
+}
+
+/// Per-attribute observer: one Gaussian per class + attribute range.
+#[derive(Debug, Clone)]
+pub struct GaussianObserver {
+    per_class: Vec<RunningStats>,
+    min: f64,
+    max: f64,
+}
+
+impl GaussianObserver {
+    /// Observer for an attribute under `n_classes` labels.
+    pub fn new(n_classes: usize) -> Self {
+        Self {
+            per_class: vec![RunningStats::new(); n_classes],
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records attribute value `v` for an observation of class `class`.
+    pub fn observe(&mut self, v: f64, class: usize) {
+        if !v.is_finite() || class >= self.per_class.len() {
+            return;
+        }
+        self.per_class[class].push(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Projected class counts `(left, right)` for threshold `t`, using each
+    /// class Gaussian's CDF mass.
+    pub fn project(&self, t: f64) -> (Vec<f64>, Vec<f64>) {
+        let k = self.per_class.len();
+        let mut left = vec![0.0; k];
+        let mut right = vec![0.0; k];
+        for (c, s) in self.per_class.iter().enumerate() {
+            let n = s.count() as f64;
+            if n == 0.0 {
+                continue;
+            }
+            let frac = if s.count() < 2 {
+                // Point mass: all on one side.
+                if s.mean() <= t {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                normal_cdf(t, s.mean(), s.std_dev())
+            };
+            left[c] = n * frac;
+            right[c] = n * (1.0 - frac);
+        }
+        (left, right)
+    }
+
+    /// Best split over `n_candidates` evenly spaced thresholds in the
+    /// observed range. Returns `None` when the range is degenerate.
+    pub fn best_split(&self, n_candidates: usize) -> Option<SplitCandidate> {
+        if !self.min.is_finite() || !self.max.is_finite() || self.max - self.min <= f64::EPSILON {
+            return None;
+        }
+        let totals: Vec<f64> = self.per_class.iter().map(|s| s.count() as f64).collect();
+        let n: f64 = totals.iter().sum();
+        if n < 2.0 {
+            return None;
+        }
+        let h_pre = entropy(&totals);
+        let mut best: Option<SplitCandidate> = None;
+        for i in 1..=n_candidates {
+            let t = self.min + (self.max - self.min) * i as f64 / (n_candidates + 1) as f64;
+            let (left, right) = self.project(t);
+            let nl: f64 = left.iter().sum();
+            let nr: f64 = right.iter().sum();
+            if nl <= 0.0 || nr <= 0.0 {
+                continue;
+            }
+            let h_post = (nl * entropy(&left) + nr * entropy(&right)) / n;
+            let merit = h_pre - h_post;
+            if best.map_or(true, |b| merit > b.merit) {
+                best = Some(SplitCandidate { threshold: t, merit });
+            }
+        }
+        best
+    }
+
+    /// Total observations recorded.
+    pub fn total_count(&self) -> u64 {
+        self.per_class.iter().map(RunningStats::count).sum()
+    }
+
+    /// Per-class Gaussian estimators (used by naive-Bayes leaf prediction).
+    pub fn class_stats(&self) -> &[RunningStats] {
+        &self.per_class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_sanity() {
+        assert!((normal_cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(3.0, 0.0, 1.0) > 0.99);
+        assert!(normal_cdf(-3.0, 0.0, 1.0) < 0.01);
+        // Degenerate sigma behaves like a step function.
+        assert_eq!(normal_cdf(1.0, 2.0, 0.0), 0.0);
+        assert_eq!(normal_cdf(3.0, 2.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn entropy_sanity() {
+        assert_eq!(entropy(&[4.0, 0.0]), 0.0);
+        assert!((entropy(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn separable_classes_yield_high_merit_split() {
+        let mut obs = GaussianObserver::new(2);
+        for i in 0..200 {
+            let jitter = (i % 10) as f64 * 0.01;
+            obs.observe(0.0 + jitter, 0);
+            obs.observe(1.0 + jitter, 1);
+        }
+        let split = obs.best_split(10).expect("split must exist");
+        assert!(split.merit > 0.9, "merit {} too low", split.merit);
+        assert!(split.threshold > 0.05 && split.threshold < 1.0);
+    }
+
+    #[test]
+    fn identical_distributions_yield_low_merit() {
+        let mut obs = GaussianObserver::new(2);
+        for i in 0..200 {
+            let v = (i % 20) as f64 * 0.05;
+            obs.observe(v, 0);
+            obs.observe(v, 1);
+        }
+        let split = obs.best_split(10).expect("range is non-degenerate");
+        assert!(split.merit < 0.05, "merit {} should be ~0", split.merit);
+    }
+
+    #[test]
+    fn degenerate_range_yields_none() {
+        let mut obs = GaussianObserver::new(2);
+        for _ in 0..50 {
+            obs.observe(1.0, 0);
+            obs.observe(1.0, 1);
+        }
+        assert!(obs.best_split(10).is_none());
+    }
+
+    #[test]
+    fn projection_preserves_total_mass() {
+        let mut obs = GaussianObserver::new(3);
+        for i in 0..90 {
+            obs.observe(i as f64 * 0.1, i % 3);
+        }
+        let (l, r) = obs.project(4.5);
+        let total: f64 = l.iter().sum::<f64>() + r.iter().sum::<f64>();
+        assert!((total - 90.0).abs() < 1e-9);
+    }
+}

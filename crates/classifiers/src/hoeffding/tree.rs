@@ -1,0 +1,599 @@
+//! The Hoeffding tree (VFDT) learner.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::classifier::{argmax, normalize_or_uniform, Classifier};
+use crate::hoeffding::observer::{entropy, normal_cdf, GaussianObserver};
+
+/// How leaves turn their sufficient statistics into predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafPrediction {
+    /// Majority class of the leaf.
+    MajorityClass,
+    /// Gaussian naive Bayes over the leaf's attribute observers.
+    NaiveBayes,
+    /// Per-leaf adaptive choice between the two, tracking which has been
+    /// more accurate at this leaf (MOA's `NBAdaptive`, the default).
+    #[default]
+    NaiveBayesAdaptive,
+}
+
+/// Hyper-parameters of the [`HoeffdingTree`].
+#[derive(Debug, Clone)]
+pub struct HoeffdingTreeConfig {
+    /// Observations a leaf accumulates between split attempts.
+    pub grace_period: usize,
+    /// `delta` of the Hoeffding bound (probability of a wrong split choice).
+    pub split_confidence: f64,
+    /// Below this bound value, ties are split anyway.
+    pub tie_threshold: f64,
+    /// Leaf prediction strategy.
+    pub leaf_prediction: LeafPrediction,
+    /// Maximum tree depth (leaves at this depth never split).
+    pub max_depth: usize,
+    /// Number of candidate thresholds evaluated per attribute.
+    pub n_split_candidates: usize,
+    /// When set, each leaf observes only a random subset of this many
+    /// attributes (the ARF random-subspace mechanism).
+    pub subspace: Option<usize>,
+    /// Seed for subspace sampling.
+    pub seed: u64,
+}
+
+impl Default for HoeffdingTreeConfig {
+    /// Defaults tuned for recurring-concept streams whose stationary
+    /// segments hold hundreds-to-thousands of observations (the paper's
+    /// setting): splits are evaluated often and the tie threshold is
+    /// permissive, trading a little split quality for much faster
+    /// structural convergence than MOA's web-scale defaults.
+    fn default() -> Self {
+        Self {
+            grace_period: 25,
+            split_confidence: 1e-4,
+            tie_threshold: 0.15,
+            leaf_prediction: LeafPrediction::default(),
+            max_depth: 20,
+            n_split_candidates: 10,
+            subspace: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LeafData {
+    class_counts: Vec<f64>,
+    observers: Vec<GaussianObserver>,
+    /// Attributes this leaf observes (all, or a random subspace).
+    attrs: Vec<usize>,
+    weight_seen: f64,
+    weight_at_last_eval: f64,
+    depth: usize,
+    /// Adaptive leaf-prediction bookkeeping.
+    mc_correct: f64,
+    nb_correct: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(LeafData),
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Class counts of everything routed through this node, kept for
+        /// Saabas path contributions.
+        class_counts: Vec<f64>,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An incremental Very Fast Decision Tree (Domingos & Hulten, KDD 2000) with
+/// Gaussian attribute observers for numeric features.
+///
+/// This is the classifier FiCSUM attaches to every concept representation.
+/// Besides the standard learner interface, it exposes:
+///
+/// * **growth events** ([`Classifier::take_growth_event`]) — FiCSUM resets
+///   classifier-dependent meta-feature distributions when the tree grows a
+///   branch (paper Section IV),
+/// * **path contributions** ([`Classifier::feature_contributions`]) — the
+///   Saabas decomposition of a prediction across the features on its root→
+///   leaf path, this workspace's fast stand-in for Shapley values.
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    config: HoeffdingTreeConfig,
+    nodes: Vec<Node>,
+    root: usize,
+    n_features: usize,
+    n_classes: usize,
+    n_trained: usize,
+    rng: StdRng,
+    grew_since_taken: bool,
+    n_splits: usize,
+}
+
+impl HoeffdingTree {
+    /// A tree over `n_features` numeric inputs and `n_classes` labels with
+    /// default hyper-parameters.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        Self::with_config(n_features, n_classes, HoeffdingTreeConfig::default())
+    }
+
+    /// A tree with explicit hyper-parameters.
+    pub fn with_config(n_features: usize, n_classes: usize, config: HoeffdingTreeConfig) -> Self {
+        assert!(n_features > 0 && n_classes > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let root_leaf = Self::make_leaf(n_features, n_classes, &config, &mut rng, 0);
+        Self {
+            config,
+            nodes: vec![Node::Leaf(root_leaf)],
+            root: 0,
+            n_features,
+            n_classes,
+            n_trained: 0,
+            rng,
+            grew_since_taken: false,
+            n_splits: 0,
+        }
+    }
+
+    fn make_leaf(
+        n_features: usize,
+        n_classes: usize,
+        config: &HoeffdingTreeConfig,
+        rng: &mut StdRng,
+        depth: usize,
+    ) -> LeafData {
+        let attrs: Vec<usize> = match config.subspace {
+            Some(k) if k < n_features => sample(rng, n_features, k).into_iter().collect(),
+            _ => (0..n_features).collect(),
+        };
+        LeafData {
+            class_counts: vec![0.0; n_classes],
+            observers: attrs.iter().map(|_| GaussianObserver::new(n_classes)).collect(),
+            attrs,
+            weight_seen: 0.0,
+            weight_at_last_eval: 0.0,
+            depth,
+            mc_correct: 0.0,
+            nb_correct: 0.0,
+        }
+    }
+
+    /// Number of splits performed so far (tree size proxy).
+    pub fn n_splits(&self) -> usize {
+        self.n_splits
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (max leaf depth).
+    pub fn depth(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf(l) => Some(l.depth),
+                Node::Split { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Index of the leaf `x` routes to.
+    fn sorted_leaf(&self, x: &[f64]) -> usize {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(_) => return idx,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Naive-Bayes class log-posteriors at a leaf.
+    fn leaf_nb_proba(&self, leaf: &LeafData, x: &[f64]) -> Vec<f64> {
+        let total: f64 = leaf.class_counts.iter().sum();
+        if total <= 0.0 {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        let mut logs = vec![0.0; self.n_classes];
+        for (c, log) in logs.iter_mut().enumerate() {
+            let prior = (leaf.class_counts[c] + 1.0) / (total + self.n_classes as f64);
+            *log = prior.ln();
+            for (oi, &attr) in leaf.attrs.iter().enumerate() {
+                let stats = &leaf.observers[oi].class_stats()[c];
+                if stats.count() < 2 {
+                    continue;
+                }
+                let sd = stats.std_dev().max(1e-6);
+                let z = (x[attr] - stats.mean()) / sd;
+                *log += -0.5 * z * z - sd.ln();
+            }
+        }
+        let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        normalize_or_uniform(logs.into_iter().map(|l| (l - max).exp()).collect())
+    }
+
+    fn leaf_proba(&self, leaf: &LeafData, x: &[f64]) -> Vec<f64> {
+        let mc = || normalize_or_uniform(leaf.class_counts.clone());
+        match self.config.leaf_prediction {
+            LeafPrediction::MajorityClass => mc(),
+            LeafPrediction::NaiveBayes => self.leaf_nb_proba(leaf, x),
+            LeafPrediction::NaiveBayesAdaptive => {
+                if leaf.nb_correct > leaf.mc_correct {
+                    self.leaf_nb_proba(leaf, x)
+                } else {
+                    mc()
+                }
+            }
+        }
+    }
+
+    /// Attempts to split the leaf at `idx`. Returns whether a split happened.
+    fn try_split(&mut self, idx: usize) -> bool {
+        let (best, second_merit, leaf_entropy, n, depth) = {
+            let leaf = match &self.nodes[idx] {
+                Node::Leaf(l) => l,
+                Node::Split { .. } => return false,
+            };
+            if leaf.depth >= self.config.max_depth {
+                return false;
+            }
+            let n: f64 = leaf.class_counts.iter().sum();
+            // A pure leaf has nothing to gain from splitting.
+            if leaf.class_counts.iter().filter(|&&c| c > 0.0).count() < 2 {
+                return false;
+            }
+            let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, merit)
+            let mut second_merit = 0.0;
+            for (oi, obs) in leaf.observers.iter().enumerate() {
+                if let Some(cand) = obs.best_split(self.config.n_split_candidates) {
+                    match best {
+                        Some((_, _, m)) if cand.merit > m => {
+                            second_merit = m;
+                            best = Some((leaf.attrs[oi], cand.threshold, cand.merit));
+                        }
+                        Some((_, _, m)) => {
+                            if cand.merit > second_merit {
+                                second_merit = cand.merit;
+                            }
+                            let _ = m;
+                        }
+                        None => best = Some((leaf.attrs[oi], cand.threshold, cand.merit)),
+                    }
+                }
+            }
+            match best {
+                Some(b) => (b, second_merit, entropy(&leaf.class_counts), n, leaf.depth),
+                None => return false,
+            }
+        };
+
+        // Hoeffding bound over the merit range R = log2(n_classes).
+        let range = (self.n_classes as f64).log2().max(1.0);
+        let eps = (range * range * (1.0 / self.config.split_confidence).ln() / (2.0 * n)).sqrt();
+        let (attr, threshold, merit) = best;
+        // Splitting must beat not-splitting (merit > 0) decisively.
+        let decisive = merit - second_merit > eps || eps < self.config.tie_threshold;
+        if merit <= 1e-10 || !decisive || merit < leaf_entropy * 0.01 {
+            return false;
+        }
+
+        // Materialise the split: project leaf statistics into the children.
+        let (left_counts, right_counts, parent_counts) = {
+            let leaf = match &self.nodes[idx] {
+                Node::Leaf(l) => l,
+                Node::Split { .. } => unreachable!("checked above"),
+            };
+            let oi = leaf.attrs.iter().position(|&a| a == attr).expect("attr from this leaf");
+            let (l, r) = leaf.observers[oi].project(threshold);
+            (l, r, leaf.class_counts.clone())
+        };
+        let mut left_leaf =
+            Self::make_leaf(self.n_features, self.n_classes, &self.config, &mut self.rng, depth + 1);
+        left_leaf.class_counts = left_counts;
+        let mut right_leaf =
+            Self::make_leaf(self.n_features, self.n_classes, &self.config, &mut self.rng, depth + 1);
+        right_leaf.class_counts = right_counts;
+
+        let left = self.nodes.len();
+        self.nodes.push(Node::Leaf(left_leaf));
+        let right = self.nodes.len();
+        self.nodes.push(Node::Leaf(right_leaf));
+        self.nodes[idx] =
+            Node::Split { feature: attr, threshold, class_counts: parent_counts, left, right };
+        self.n_splits += 1;
+        self.grew_since_taken = true;
+        true
+    }
+}
+
+impl Classifier for HoeffdingTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let leaf_idx = self.sorted_leaf(x);
+        match &self.nodes[leaf_idx] {
+            Node::Leaf(l) => self.leaf_proba(l, x),
+            Node::Split { .. } => unreachable!("sorted_leaf returns a leaf"),
+        }
+    }
+
+    fn train(&mut self, x: &[f64], y: usize) {
+        if y >= self.n_classes || x.len() != self.n_features {
+            return;
+        }
+        // Update class counts along the internal path (for contributions).
+        let mut idx = self.root;
+        loop {
+            match &mut self.nodes[idx] {
+                Node::Leaf(_) => break,
+                Node::Split { feature, threshold, class_counts, left, right } => {
+                    class_counts[y] += 1.0;
+                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+
+        // Adaptive-leaf bookkeeping requires predictions *before* training.
+        if self.config.leaf_prediction == LeafPrediction::NaiveBayesAdaptive {
+            let (mc_pred, nb_pred) = match &self.nodes[idx] {
+                Node::Leaf(l) => {
+                    (argmax(&l.class_counts), argmax(&self.leaf_nb_proba(l, x)))
+                }
+                Node::Split { .. } => unreachable!(),
+            };
+            if let Node::Leaf(l) = &mut self.nodes[idx] {
+                if mc_pred == y {
+                    l.mc_correct += 1.0;
+                }
+                if nb_pred == y {
+                    l.nb_correct += 1.0;
+                }
+            }
+        }
+
+        let should_eval = {
+            let leaf = match &mut self.nodes[idx] {
+                Node::Leaf(l) => l,
+                Node::Split { .. } => unreachable!(),
+            };
+            leaf.class_counts[y] += 1.0;
+            leaf.weight_seen += 1.0;
+            for (oi, &attr) in leaf.attrs.clone().iter().enumerate() {
+                leaf.observers[oi].observe(x[attr], y);
+            }
+            leaf.weight_seen - leaf.weight_at_last_eval >= self.config.grace_period as f64
+        };
+        self.n_trained += 1;
+
+        if should_eval {
+            if let Node::Leaf(l) = &mut self.nodes[idx] {
+                l.weight_at_last_eval = l.weight_seen;
+            }
+            self.try_split(idx);
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_trained(&self) -> usize {
+        self.n_trained
+    }
+
+    fn reset(&mut self) {
+        let config = self.config.clone();
+        *self = HoeffdingTree::with_config(self.n_features, self.n_classes, config);
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+
+    fn take_growth_event(&mut self) -> bool {
+        std::mem::take(&mut self.grew_since_taken)
+    }
+
+    fn complexity(&self) -> usize {
+        self.n_splits
+    }
+
+    /// Saabas path decomposition: walking root→leaf, the change in the
+    /// predicted class's probability at each split is credited to the split
+    /// feature. The absolute values, averaged over a window, approximate
+    /// Shapley feature importance for trees.
+    fn feature_contributions(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let mut contrib = vec![0.0; self.n_features];
+        let pred = self.predict(x);
+        let mut idx = self.root;
+        // Walk internal nodes; every hop credits the split feature with the
+        // change in P(pred). Reaching a leaf ends the walk (the hop *into*
+        // the leaf was already credited when the leaf was the child).
+        while let Node::Split { feature, threshold, class_counts, left, right } = &self.nodes[idx]
+        {
+            let p_here = normalize_or_uniform(class_counts.clone())[pred];
+            let child = if x[*feature] <= *threshold { *left } else { *right };
+            let p_child = match &self.nodes[child] {
+                Node::Leaf(l) => self.leaf_proba(l, x)[pred],
+                Node::Split { class_counts, .. } => normalize_or_uniform(class_counts.clone())[pred],
+            };
+            contrib[*feature] += p_child - p_here;
+            idx = child;
+        }
+        Some(contrib)
+    }
+}
+
+/// Marginal Gaussian probability that feature `feature` of a random
+/// observation routed through `counts`-weighted classes lies below `t`.
+/// Exposed for tests of the projection maths.
+#[doc(hidden)]
+pub fn _cdf_for_tests(x: f64, mean: f64, std: f64) -> f64 {
+    normal_cdf(x, mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two well-separated Gaussian blobs labelled by a threshold on x0.
+    fn blob_stream(rng: &mut StdRng, n: usize) -> Vec<(Vec<f64>, usize)> {
+        (0..n)
+            .map(|_| {
+                let y = rng.random_range(0..2usize);
+                let x0 = if y == 0 { rng.random::<f64>() } else { 2.0 + rng.random::<f64>() };
+                let x1: f64 = rng.random();
+                (vec![x0, x1], y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_threshold_concept() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tree = HoeffdingTree::new(2, 2);
+        for (x, y) in blob_stream(&mut rng, 3000) {
+            tree.train(&x, y);
+        }
+        assert!(tree.n_splits() >= 1, "tree must grow");
+        let mut correct = 0;
+        let test = blob_stream(&mut rng, 500);
+        for (x, y) in &test {
+            if tree.predict(x) == *y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn growth_event_is_one_shot() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tree = HoeffdingTree::new(2, 2);
+        for (x, y) in blob_stream(&mut rng, 3000) {
+            tree.train(&x, y);
+        }
+        assert!(tree.take_growth_event());
+        assert!(!tree.take_growth_event(), "event must be consumed");
+    }
+
+    #[test]
+    fn contributions_highlight_predictive_feature() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tree = HoeffdingTree::new(2, 2);
+        for (x, y) in blob_stream(&mut rng, 5000) {
+            tree.train(&x, y);
+        }
+        let mut acc = vec![0.0; 2];
+        for (x, _) in blob_stream(&mut rng, 200) {
+            let c = tree.feature_contributions(&x).unwrap();
+            acc[0] += c[0].abs();
+            acc[1] += c[1].abs();
+        }
+        assert!(
+            acc[0] > acc[1],
+            "feature 0 drives labels; contributions {acc:?} disagree"
+        );
+    }
+
+    #[test]
+    fn untrained_tree_is_uniform() {
+        let tree = HoeffdingTree::new(3, 4);
+        let p = tree.predict_proba(&[0.0, 0.0, 0.0]);
+        assert_eq!(p, vec![0.25; 4]);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn pure_stream_never_splits() {
+        let mut tree = HoeffdingTree::new(1, 2);
+        for i in 0..2000 {
+            tree.train(&[i as f64], 0);
+        }
+        assert_eq!(tree.n_splits(), 0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = HoeffdingTreeConfig {
+            max_depth: 1,
+            grace_period: 50,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut tree = HoeffdingTree::with_config(2, 2, config);
+        // Noisy XOR-ish labels force repeated split attempts.
+        for _ in 0..5000 {
+            let x = [rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0];
+            let y = ((x[0] > 2.0) ^ (x[1] > 2.0)) as usize;
+            tree.train(&x, y);
+        }
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn subspace_restricts_observed_attrs() {
+        let config = HoeffdingTreeConfig {
+            subspace: Some(1),
+            grace_period: 30,
+            ..HoeffdingTreeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tree = HoeffdingTree::with_config(4, 2, config);
+        for (x, y) in (0..500).map(|_| {
+            let y = rng.random_range(0..2usize);
+            (vec![y as f64, rng.random(), rng.random(), rng.random()], y)
+        }) {
+            tree.train(&x, y);
+        }
+        // No crash and the tree may or may not split (depends which attr was
+        // sampled); the invariant is that training stayed well-defined.
+        assert_eq!(tree.n_trained(), 500);
+    }
+
+    #[test]
+    fn reset_restores_blank_state() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tree = HoeffdingTree::new(2, 2);
+        for (x, y) in blob_stream(&mut rng, 2000) {
+            tree.train(&x, y);
+        }
+        tree.reset();
+        assert_eq!(tree.n_trained(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_proba(&[0.0, 0.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn multiclass_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tree = HoeffdingTree::new(1, 3);
+        for _ in 0..6000 {
+            let y = rng.random_range(0..3usize);
+            let x = [y as f64 * 3.0 + rng.random::<f64>()];
+            tree.train(&x, y);
+        }
+        assert_eq!(tree.predict(&[0.5]), 0);
+        assert_eq!(tree.predict(&[3.5]), 1);
+        assert_eq!(tree.predict(&[6.5]), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Incremental stream classifiers.
+//!
+//! FiCSUM associates one incremental classifier with each concept
+//! representation; the paper uses a Hoeffding Tree. The baseline frameworks
+//! additionally need an adaptive random forest (ARF), dynamic weighted
+//! majority (DWM) and naive Bayes. All learners implement the common
+//! [`Classifier`] trait and are trained prequentially (test-then-train).
+//!
+//! * [`MajorityClass`] — predicts the most frequent label seen,
+//! * [`GaussianNaiveBayes`] — Gaussian naive Bayes,
+//! * [`HoeffdingTree`] — Very Fast Decision Tree (Domingos & Hulten, KDD
+//!   2000) with Gaussian numeric attribute observers, information-gain
+//!   splits under the Hoeffding bound, adaptive naive-Bayes leaves, growth
+//!   events (consumed by FiCSUM's fingerprint-plasticity mechanism) and
+//!   Saabas-style per-feature prediction contributions (the workspace's
+//!   stand-in for the paper's Shapley feature-importance channel),
+//! * [`AdaptiveRandomForest`] — Gomes et al., 2017: online bagging with
+//!   Poisson(6), per-tree ADWIN warning/drift monitors, random subspaces,
+//! * [`DynamicWeightedMajority`] — Kolter & Maloof, 2007.
+
+pub mod arf;
+pub mod classifier;
+pub mod dwm;
+pub mod hoeffding;
+pub mod majority;
+pub mod naive_bayes;
+
+pub use arf::AdaptiveRandomForest;
+pub use classifier::{Classifier, ClassifierFactory};
+pub use dwm::DynamicWeightedMajority;
+pub use hoeffding::{HoeffdingTree, HoeffdingTreeConfig, LeafPrediction};
+pub use majority::MajorityClass;
+pub use naive_bayes::GaussianNaiveBayes;

@@ -1,0 +1,100 @@
+//! Majority-class baseline classifier.
+
+use crate::classifier::{argmax, normalize_or_uniform, Classifier};
+
+/// Predicts the most frequent class label seen so far, ignoring features.
+///
+/// Useful as a floor baseline and as the leaf predictor of an unsplit
+/// Hoeffding tree.
+#[derive(Debug, Clone)]
+pub struct MajorityClass {
+    counts: Vec<f64>,
+    n_features: usize,
+    n_trained: usize,
+}
+
+impl MajorityClass {
+    /// A majority classifier over `n_classes` labels and `n_features` inputs.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        assert!(n_classes > 0);
+        Self { counts: vec![0.0; n_classes], n_features, n_trained: 0 }
+    }
+}
+
+impl Classifier for MajorityClass {
+    fn predict(&self, _x: &[f64]) -> usize {
+        argmax(&self.counts)
+    }
+
+    fn predict_proba(&self, _x: &[f64]) -> Vec<f64> {
+        normalize_or_uniform(self.counts.clone())
+    }
+
+    fn train(&mut self, _x: &[f64], y: usize) {
+        if let Some(c) = self.counts.get_mut(y) {
+            *c += 1.0;
+            self.n_trained += 1;
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_trained(&self) -> usize {
+        self.n_trained
+    }
+
+    fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0.0);
+        self.n_trained = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_majority() {
+        let mut m = MajorityClass::new(1, 3);
+        for y in [0, 1, 1, 2, 1] {
+            m.train(&[0.0], y);
+        }
+        assert_eq!(m.predict(&[9.9]), 1);
+        let p = m.predict_proba(&[0.0]);
+        assert!((p[1] - 0.6).abs() < 1e-12);
+        assert_eq!(m.n_trained(), 5);
+    }
+
+    #[test]
+    fn untrained_is_uniform() {
+        let m = MajorityClass::new(2, 4);
+        assert_eq!(m.predict_proba(&[0.0, 0.0]), vec![0.25; 4]);
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn out_of_range_label_ignored() {
+        let mut m = MajorityClass::new(1, 2);
+        m.train(&[0.0], 7);
+        assert_eq!(m.n_trained(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = MajorityClass::new(1, 2);
+        m.train(&[0.0], 1);
+        m.reset();
+        assert_eq!(m.n_trained(), 0);
+        assert_eq!(m.predict_proba(&[0.0]), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Gaussian naive Bayes for numeric stream features.
+
+use ficsum_stream::RunningStats;
+
+use crate::classifier::{argmax, normalize_or_uniform, Classifier};
+
+const MIN_STD: f64 = 1e-6;
+
+/// Incremental Gaussian naive Bayes.
+///
+/// Maintains one [`RunningStats`] per (class, feature) pair and class priors,
+/// predicting with log-density sums. This is the expert learner used by DWM
+/// and the leaf predictor of naive-Bayes Hoeffding-tree leaves.
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    /// `stats[c][j]` — Gaussian of feature `j` conditioned on class `c`.
+    stats: Vec<Vec<RunningStats>>,
+    class_counts: Vec<f64>,
+    n_trained: usize,
+}
+
+impl GaussianNaiveBayes {
+    /// A naive Bayes over `n_features` numeric inputs and `n_classes` labels.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        assert!(n_classes > 0 && n_features > 0);
+        Self {
+            stats: vec![vec![RunningStats::new(); n_features]; n_classes],
+            class_counts: vec![0.0; n_classes],
+            n_trained: 0,
+        }
+    }
+
+    /// Log joint density `log p(c) + sum_j log N(x_j; mu_cj, sigma_cj)`.
+    fn log_joint(&self, x: &[f64], c: usize) -> f64 {
+        let total: f64 = self.class_counts.iter().sum();
+        let prior = (self.class_counts[c] + 1.0) / (total + self.class_counts.len() as f64);
+        let mut log_p = prior.ln();
+        for (j, &xj) in x.iter().enumerate() {
+            let s = &self.stats[c][j];
+            if s.count() < 2 {
+                continue; // no density estimate yet for this feature
+            }
+            let sd = s.std_dev().max(MIN_STD);
+            let z = (xj - s.mean()) / sd;
+            log_p += -0.5 * z * z - sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        }
+        log_p
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        if self.n_trained == 0 {
+            return vec![1.0 / self.class_counts.len() as f64; self.class_counts.len()];
+        }
+        let logs: Vec<f64> =
+            (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
+        // Log-sum-exp for numerical stability.
+        let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
+        normalize_or_uniform(exps)
+    }
+
+    fn train(&mut self, x: &[f64], y: usize) {
+        if y >= self.class_counts.len() || x.len() != self.stats[0].len() {
+            return;
+        }
+        self.class_counts[y] += 1.0;
+        for (j, &xj) in x.iter().enumerate() {
+            self.stats[y][j].push(xj);
+        }
+        self.n_trained += 1;
+    }
+
+    fn n_classes(&self) -> usize {
+        self.class_counts.len()
+    }
+
+    fn n_features(&self) -> usize {
+        self.stats[0].len()
+    }
+
+    fn n_trained(&self) -> usize {
+        self.n_trained
+    }
+
+    fn reset(&mut self) {
+        for row in &mut self.stats {
+            for s in row {
+                s.reset();
+            }
+        }
+        self.class_counts.iter_mut().for_each(|c| *c = 0.0);
+        self.n_trained = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn separable_gaussians_are_learned() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut nb = GaussianNaiveBayes::new(2, 2);
+        for _ in 0..500 {
+            let (x0, x1): (f64, f64) = (rng.random(), rng.random());
+            nb.train(&[x0, x1 + 0.0], 0);
+            nb.train(&[x0 + 5.0, x1 + 5.0], 1);
+        }
+        assert_eq!(nb.predict(&[0.5, 0.5]), 0);
+        assert_eq!(nb.predict(&[5.5, 5.5]), 1);
+        let p = nb.predict_proba(&[0.5, 0.5]);
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn untrained_predicts_uniform() {
+        let nb = GaussianNaiveBayes::new(3, 4);
+        assert_eq!(nb.predict_proba(&[0.0; 3]), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut nb = GaussianNaiveBayes::new(3, 3);
+        for _ in 0..100 {
+            let x: [f64; 3] = [rng.random(), rng.random(), rng.random()];
+            nb.train(&x, rng.random_range(0..3));
+        }
+        let p = nb.predict_proba(&[0.2, 0.8, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mismatched_dims_ignored() {
+        let mut nb = GaussianNaiveBayes::new(2, 2);
+        nb.train(&[1.0], 0); // wrong arity
+        assert_eq!(nb.n_trained(), 0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let mut nb = GaussianNaiveBayes::new(1, 2);
+        for _ in 0..50 {
+            nb.train(&[1.0], 0);
+            nb.train(&[2.0], 1);
+        }
+        let p = nb.predict_proba(&[1.0]);
+        assert!(p[0] > 0.9, "degenerate sigma handled: {p:?}");
+    }
+}

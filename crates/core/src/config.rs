@@ -1,0 +1,166 @@
+//! FiCSUM hyper-parameters.
+
+/// Hyper-parameters of the FiCSUM framework (Algorithm 1).
+///
+/// Defaults follow the paper's tuned values (Section VI-2): `w = 75`,
+/// buffer ratio `0.25`, `P_C = 3`, `P_S = 25`.
+#[derive(Debug, Clone, Copy)]
+pub struct FicsumConfig {
+    /// Window size `w`: length of both the active window `A` and the stale
+    /// buffer window `B`.
+    pub window_size: usize,
+    /// Buffer ratio: the buffer delay is `b = ceil(window_size * ratio)`,
+    /// bounding the assumed drift-detection delay.
+    pub buffer_ratio: f64,
+    /// Gap `P_C` between fingerprint updates (drift checks).
+    pub fingerprint_gap: usize,
+    /// Gap `P_S` between repository (non-active) fingerprint updates used by
+    /// the intra-classifier weight component.
+    pub repository_gap: usize,
+    /// ADWIN confidence for the similarity drift detector. The detector
+    /// runs on the *standardised* similarity stream, whose stationary
+    /// variance is tame, so a larger delta than ADWIN's usual 0.002 is
+    /// appropriate; false alarms are cheap because model selection re-accepts
+    /// the incumbent concept.
+    pub detector_delta: f64,
+    /// Exponential-forgetting factor of the recorded similarity
+    /// distribution (mu_c, sigma_c). Larger = adapts faster, forgets the
+    /// classifier-training transient sooner.
+    pub sim_alpha: f64,
+    /// Acceptance band width in standard deviations: a stored concept is a
+    /// recurrence candidate when its similarity is within
+    /// `accept_sigma * sigma` of its recorded mean (paper: 2).
+    pub accept_sigma: f64,
+    /// Floor on per-dimension standard deviation when computing
+    /// `w_sigma = 1/sigma` (fingerprint values are normalised to [0, 1]).
+    pub sigma_floor: f64,
+    /// Floor on the standard deviation of the recorded similarity
+    /// distribution when standardising the detector input.
+    pub sim_sigma_floor: f64,
+    /// Clamp (in standard deviations) on the standardised similarity fed to
+    /// the drift detector. Cosine similarity over many non-negative
+    /// dimensions is compressed near 1, so the detector monitors the
+    /// *deviation from the recorded normal similarity* `(sim - mu_c) /
+    /// sigma_c` — the quantity FiCSUM stores `mu_c`/`sigma_c` for — rather
+    /// than the raw value.
+    pub deviation_clamp: f64,
+    /// Hard drift trigger: a deviation beyond `hard_z` standard deviations
+    /// observed on `hard_consecutive` consecutive checks fires a drift
+    /// immediately. This catches the short, sharp similarity dips a fast-
+    /// adapting classifier produces, which are over before ADWIN's bound can
+    /// cut; it operationalises the paper's "similarity significantly
+    /// different to normal" (mu ± k sigma) directly.
+    pub hard_z: f64,
+    /// Consecutive extreme checks required by the hard trigger.
+    pub hard_consecutive: u32,
+    /// Outlier threshold (in standard deviations) above which a buffer
+    /// window is *not* absorbed into the concept fingerprint or the
+    /// similarity baseline. Lower than `hard_z`: absorption is conservative
+    /// about concept purity, detection is balanced. Twenty consecutive
+    /// skipped windows escalate to a drift.
+    pub outlier_z: f64,
+    /// Drift-check suppression after a *new* concept is created, in
+    /// observations. A brand-new classifier changes behaviour rapidly while
+    /// it bootstraps, which looks exactly like drift; checks resume once it
+    /// has had this long to settle (reused concepts only get the short
+    /// `w + b` window-turnover cooldown).
+    pub new_concept_grace: usize,
+    /// Maximum stored concepts; 0 = unbounded. When full, the least recently
+    /// used concept is evicted.
+    pub max_repository: usize,
+    /// Whether to run the delayed second model-selection pass `w`
+    /// observations after each drift (Section III-A).
+    pub second_check: bool,
+    /// Whether classifier growth events reset supervised meta-feature
+    /// distributions (fingerprint plasticity, Section IV).
+    pub plasticity: bool,
+    /// Whether similarity records are re-based through retained fingerprint
+    /// pairs when weights have moved (Section IV).
+    pub rebase_similarity: bool,
+}
+
+impl Default for FicsumConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 75,
+            buffer_ratio: 0.25,
+            fingerprint_gap: 3,
+            repository_gap: 25,
+            detector_delta: 0.05,
+            sim_alpha: 0.1,
+            accept_sigma: 2.0,
+            sigma_floor: 0.01,
+            sim_sigma_floor: 0.002,
+            deviation_clamp: 8.0,
+            hard_z: 5.0,
+            hard_consecutive: 3,
+            outlier_z: 3.0,
+            new_concept_grace: 300,
+            max_repository: 0,
+            second_check: true,
+            plasticity: true,
+            rebase_similarity: true,
+        }
+    }
+}
+
+impl FicsumConfig {
+    /// The buffer delay `b` implied by the window size and buffer ratio.
+    pub fn buffer_delay(&self) -> usize {
+        ((self.window_size as f64 * self.buffer_ratio).ceil() as usize).max(1)
+    }
+
+    /// Validates parameter sanity, panicking with a description otherwise.
+    pub fn validate(&self) {
+        assert!(self.window_size >= 10, "window_size must be at least 10");
+        assert!(
+            self.buffer_ratio > 0.0 && self.buffer_ratio <= 2.0,
+            "buffer_ratio must be in (0, 2]"
+        );
+        assert!(self.fingerprint_gap >= 1, "fingerprint_gap must be >= 1");
+        assert!(self.repository_gap >= 1, "repository_gap must be >= 1");
+        assert!(
+            self.detector_delta > 0.0 && self.detector_delta < 1.0,
+            "detector_delta must be in (0, 1)"
+        );
+        assert!(self.accept_sigma > 0.0, "accept_sigma must be positive");
+        assert!(self.sigma_floor > 0.0, "sigma_floor must be positive");
+        assert!(self.sim_sigma_floor > 0.0, "sim_sigma_floor must be positive");
+        assert!(
+            self.sim_alpha > 0.0 && self.sim_alpha <= 1.0,
+            "sim_alpha must be in (0, 1]"
+        );
+        assert!(self.deviation_clamp > 1.0, "deviation_clamp must exceed 1");
+        assert!(self.hard_z > 1.0, "hard_z must exceed 1");
+        assert!(self.outlier_z > 1.0, "outlier_z must exceed 1");
+        assert!(self.hard_consecutive >= 1, "hard_consecutive must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FicsumConfig::default();
+        assert_eq!(c.window_size, 75);
+        assert_eq!(c.fingerprint_gap, 3);
+        assert_eq!(c.repository_gap, 25);
+        assert!((c.buffer_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(c.buffer_delay(), 19); // ceil(75 * 0.25)
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window_size")]
+    fn tiny_window_rejected() {
+        FicsumConfig { window_size: 2, ..FicsumConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_ratio")]
+    fn zero_buffer_rejected() {
+        FicsumConfig { buffer_ratio: 0.0, ..FicsumConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,38 @@
+//! FiCSUM — Fingerprinting with Combined Supervised and Unsupervised
+//! Meta-Information (Halstead et al., ICDE 2021).
+//!
+//! The framework represents every *concept* in a data stream as a
+//! **concept fingerprint**: the online distribution (mean, standard
+//! deviation, count) of each meta-information feature over the windows drawn
+//! from that concept. A weighted cosine similarity between the current
+//! concept fingerprint and fingerprints of recent windows drives:
+//!
+//! * **drift detection** — ADWIN monitors the similarity stream and alerts
+//!   when recent observations stop resembling the active concept,
+//! * **model selection** — after a drift, stored concepts are tested for
+//!   recurrence; matching concepts have their classifier *reused*,
+//!   transferring knowledge across stream segments.
+//!
+//! Weights are learned online per dataset (Section III-B): a scale component
+//! `w_sigma = 1/sigma` puts dimensions on comparable footing, and a
+//! discrimination component `w_d` (Fisher-score style, the max of
+//! inter-concept and intra-classifier variation) emphasises the
+//! meta-features that actually separate this dataset's concepts.
+//!
+//! Entry point: [`Ficsum`], usually built through [`variant::FicsumBuilder`].
+
+pub mod config;
+pub mod fingerprint;
+pub mod framework;
+pub mod repository;
+pub mod similarity;
+pub mod variant;
+pub mod weights;
+
+pub use config::FicsumConfig;
+pub use fingerprint::{ConceptFingerprint, FingerprintNormalizer};
+pub use framework::{Ficsum, StepOutcome};
+pub use repository::{ConceptEntry, ConceptId, Repository};
+pub use similarity::{cosine, fingerprint_similarity, weighted_cosine};
+pub use variant::{FicsumBuilder, Variant};
+pub use weights::DynamicWeights;

@@ -1,0 +1,230 @@
+//! The concept repository: stored `(fingerprint, classifier, mu, sigma)`
+//! tuples tested for recurrence at every drift.
+
+use ficsum_classifiers::Classifier;
+use ficsum_stream::EwStats;
+
+use crate::fingerprint::ConceptFingerprint;
+
+/// Identifier of a stored concept. Ids are never reused, so they double as
+/// the "model" identity `M` in the C-F1 evaluation.
+pub type ConceptId = usize;
+
+/// A retained fingerprint pair with the similarity recorded between them at
+/// storage time — used to re-base old similarity records when the dynamic
+/// weighting has since changed (Section IV).
+#[derive(Debug, Clone)]
+pub struct RetainedPair {
+    /// First normalised fingerprint of the pair.
+    pub a: Vec<f64>,
+    /// Second normalised fingerprint of the pair.
+    pub b: Vec<f64>,
+    /// Similarity between `a` and `b` under the weights at record time.
+    pub sim_then: f64,
+}
+
+/// Everything stored about one concept.
+pub struct ConceptEntry {
+    /// Stable identifier.
+    pub id: ConceptId,
+    /// The concept fingerprint `F_c` built from *online* (prequential)
+    /// predictions — the representation drift detection compares against.
+    pub fingerprint: ConceptFingerprint,
+    /// The concept fingerprint built from windows *re-predicted* through
+    /// the classifier — the representation model selection compares
+    /// against. Algorithm 1 computes `F_AS` by re-predicting the query
+    /// window (line 29), so the stored side must be built the same way;
+    /// the online fingerprint meanwhile must match the online-labelled
+    /// windows the detector sees (line 11). One representation cannot be
+    /// consistent with both, hence the pair.
+    pub sel_fingerprint: ConceptFingerprint,
+    /// The classifier `I_c` trained on this concept.
+    pub classifier: Box<dyn Classifier>,
+    /// Distribution of `Sim(F_c, F_B)` under recent stationary conditions
+    /// (`mu_c`, `sigma_c`), exponentially weighted so classifier-training
+    /// transients are forgotten.
+    pub sim_stats: EwStats,
+    /// `F_SC`: the distribution of this classifier's behaviour on windows
+    /// drawn from *other* (currently active) concepts — drives the
+    /// intra-classifier weight component.
+    pub sc_fingerprint: ConceptFingerprint,
+    /// Retained pairs for similarity re-basing.
+    pub retained: Vec<RetainedPair>,
+    /// Timestamp of last activation (for LRU eviction).
+    pub last_active: u64,
+}
+
+impl ConceptEntry {
+    /// Fresh entry with an untrained fingerprint and the given classifier.
+    pub fn new(id: ConceptId, dims: usize, classifier: Box<dyn Classifier>) -> Self {
+        Self {
+            id,
+            fingerprint: ConceptFingerprint::new(dims),
+            sel_fingerprint: ConceptFingerprint::new(dims),
+            classifier,
+            sim_stats: EwStats::default(),
+            sc_fingerprint: ConceptFingerprint::new(dims),
+            retained: Vec::new(),
+            last_active: 0,
+        }
+    }
+
+    /// Records a fingerprint pair for future similarity re-basing, keeping
+    /// at most `cap` recent pairs.
+    pub fn retain_pair(&mut self, a: Vec<f64>, b: Vec<f64>, sim_then: f64, cap: usize) {
+        self.retained.push(RetainedPair { a, b, sim_then });
+        if self.retained.len() > cap {
+            self.retained.remove(0);
+        }
+    }
+}
+
+/// The repository `R` of stored concept representations.
+#[derive(Default)]
+pub struct Repository {
+    entries: Vec<ConceptEntry>,
+    next_id: ConceptId,
+    /// 0 = unbounded.
+    max_entries: usize,
+}
+
+impl Repository {
+    /// Repository bounded to `max_entries` concepts (0 = unbounded).
+    pub fn new(max_entries: usize) -> Self {
+        Self { entries: Vec::new(), next_id: 0, max_entries }
+    }
+
+    /// Allocates the next concept id.
+    pub fn allocate_id(&mut self) -> ConceptId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-active
+    /// stored concept when the bound is exceeded.
+    pub fn insert(&mut self, entry: ConceptEntry) {
+        if let Some(pos) = self.entries.iter().position(|e| e.id == entry.id) {
+            self.entries[pos] = entry;
+        } else {
+            self.entries.push(entry);
+        }
+        if self.max_entries > 0 && self.entries.len() > self.max_entries {
+            if let Some((pos, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_active)
+            {
+                self.entries.remove(pos);
+            }
+        }
+    }
+
+    /// Removes and returns the entry with `id`.
+    pub fn take(&mut self, id: ConceptId) -> Option<ConceptEntry> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Removes the entry with `id`, dropping it.
+    pub fn remove(&mut self, id: ConceptId) -> bool {
+        self.take(id).is_some()
+    }
+
+    /// Immutable entry access.
+    pub fn get(&self, id: ConceptId) -> Option<&ConceptEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Mutable entry access.
+    pub fn get_mut(&mut self, id: ConceptId) -> Option<&mut ConceptEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Iterates over stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = &ConceptEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over stored entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ConceptEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Number of stored concepts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_classifiers::MajorityClass;
+
+    fn entry(repo: &mut Repository, last_active: u64) -> ConceptId {
+        let id = repo.allocate_id();
+        let mut e = ConceptEntry::new(id, 4, Box::new(MajorityClass::new(2, 2)));
+        e.last_active = last_active;
+        repo.insert(e);
+        id
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut r = Repository::new(0);
+        let a = entry(&mut r, 0);
+        let b = entry(&mut r, 1);
+        assert!(b > a);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_same_id() {
+        let mut r = Repository::new(0);
+        let id = entry(&mut r, 0);
+        let mut e2 = ConceptEntry::new(id, 4, Box::new(MajorityClass::new(2, 2)));
+        e2.last_active = 99;
+        r.insert(e2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(id).unwrap().last_active, 99);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut r = Repository::new(2);
+        let old = entry(&mut r, 1);
+        let mid = entry(&mut r, 5);
+        let new = entry(&mut r, 9);
+        assert_eq!(r.len(), 2);
+        assert!(r.get(old).is_none(), "oldest must be evicted");
+        assert!(r.get(mid).is_some());
+        assert!(r.get(new).is_some());
+    }
+
+    #[test]
+    fn take_removes_entry() {
+        let mut r = Repository::new(0);
+        let id = entry(&mut r, 0);
+        let e = r.take(id).expect("present");
+        assert_eq!(e.id, id);
+        assert!(r.is_empty());
+        assert!(r.take(id).is_none());
+    }
+
+    #[test]
+    fn retained_pairs_are_capped() {
+        let mut e = ConceptEntry::new(0, 2, Box::new(MajorityClass::new(1, 2)));
+        for i in 0..10 {
+            e.retain_pair(vec![i as f64], vec![i as f64], 1.0, 3);
+        }
+        assert_eq!(e.retained.len(), 3);
+        assert_eq!(e.retained[0].a, vec![7.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Weighted cosine similarity between fingerprint vectors (Section III-B).
+
+/// Weighted cosine similarity:
+///
+/// `Sim(a, b, w) = (wa . wb) / (||wa|| ||wb||)` with `wa_i = w_i a_i`.
+///
+/// Degenerate cases: two zero vectors are identical (similarity 1); one zero
+/// vector is maximally dissimilar (0). With non-negative inputs (FiCSUM
+/// fingerprints are normalised to `[0, 1]`) the result lies in `[0, 1]`.
+pub fn weighted_cosine(a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), weights.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for ((&x, &y), &w) in a.iter().zip(b).zip(weights) {
+        let (wx, wy) = (w * x, w * y);
+        dot += wx * wy;
+        na += wx * wx;
+        nb += wy * wy;
+    }
+    if na <= 0.0 && nb <= 0.0 {
+        return 1.0;
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Unweighted cosine similarity (all weights 1).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let ones = vec![1.0; a.len()];
+    weighted_cosine(a, b, &ones)
+}
+
+/// Fingerprint similarity used throughout FiCSUM.
+///
+/// Multi-dimensional fingerprints use the weighted cosine. A univariate
+/// fingerprint (the ER variant) would make cosine degenerate — any two
+/// positive scalars are perfectly "aligned" — so the paper's univariate
+/// fallback is used instead: the complement of the absolute difference
+/// (Section II's "inverse absolute difference", bounded to `[0, 1]` for
+/// normalised inputs).
+pub fn fingerprint_similarity(a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
+    if a.len() == 1 {
+        (1.0 - (a[0] - b[0]).abs()).clamp(0.0, 1.0)
+    } else {
+        weighted_cosine(a, b, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let v = [0.3, 0.7, 0.1];
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_similarity_zero() {
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = [0.2, 0.4, 0.6];
+        let b = [0.4, 0.8, 1.2];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_change_the_verdict() {
+        // a and b agree on dim 0, disagree on dim 1.
+        let a = [1.0, 1.0];
+        let b = [1.0, 0.0];
+        let favour_agreeing = weighted_cosine(&a, &b, &[10.0, 0.1]);
+        let favour_disagreeing = weighted_cosine(&a, &b, &[0.1, 10.0]);
+        assert!(favour_agreeing > 0.99);
+        assert!(favour_disagreeing < 0.2);
+    }
+
+    #[test]
+    fn zero_weight_dims_are_ignored() {
+        let a = [0.5, 123.0];
+        let b = [0.5, -55.0];
+        assert!((weighted_cosine(&a, &b, &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_vectors() {
+        assert_eq!(cosine(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn univariate_similarity_is_distance_based() {
+        assert!((fingerprint_similarity(&[0.3], &[0.3], &[1.0]) - 1.0).abs() < 1e-12);
+        assert!((fingerprint_similarity(&[0.2], &[0.7], &[1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(fingerprint_similarity(&[0.0], &[1.0], &[1.0]), 0.0);
+        // With >= 2 dims it's the weighted cosine.
+        let s = fingerprint_similarity(&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]);
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_for_nonnegative_inputs() {
+        let a = [0.1, 0.9, 0.5, 0.3];
+        let b = [0.8, 0.2, 0.4, 0.6];
+        let w = [2.0, 0.5, 1.5, 3.0];
+        let s = weighted_cosine(&a, &b, &w);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,149 @@
+//! Builder and the paper's ablation variants.
+
+use ficsum_classifiers::{Classifier, ClassifierFactory, HoeffdingTree};
+use ficsum_meta::{FingerprintExtractor, MetaFunction, SourceSelection};
+
+use crate::config::FicsumConfig;
+use crate::framework::Ficsum;
+
+/// Which meta-information configuration to fingerprint with.
+///
+/// These are exactly the systems compared in Tables III–V of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// All behaviour sources, all 13 functions (FiCSUM proper).
+    Full,
+    /// Error-rate meta-feature only (the ER baseline).
+    ErrorRate,
+    /// Supervised behaviour sources only (S-MI).
+    Supervised,
+    /// Unsupervised (feature) behaviour sources only (U-MI).
+    Unsupervised,
+    /// A single meta-information function across all sources (Table V rows).
+    SingleFunction(MetaFunction),
+}
+
+impl Variant {
+    /// Short name used in experiment reports.
+    pub fn name(&self) -> String {
+        match self {
+            Variant::Full => "FiCSUM".into(),
+            Variant::ErrorRate => "ER".into(),
+            Variant::Supervised => "S-MI".into(),
+            Variant::Unsupervised => "U-MI".into(),
+            Variant::SingleFunction(f) => format!("fn:{}", f.name()),
+        }
+    }
+
+    /// Builds the extractor for this variant.
+    pub fn extractor(&self, n_features: usize) -> FingerprintExtractor {
+        match self {
+            Variant::Full => FingerprintExtractor::full(n_features),
+            Variant::ErrorRate => FingerprintExtractor::error_rate_only(n_features),
+            Variant::Supervised => FingerprintExtractor::new(
+                n_features,
+                MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+                SourceSelection::supervised_only(),
+                false,
+            ),
+            Variant::Unsupervised => FingerprintExtractor::new(
+                n_features,
+                MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+                SourceSelection::unsupervised_only(),
+                false,
+            ),
+            Variant::SingleFunction(f) => FingerprintExtractor::single_function(n_features, *f),
+        }
+    }
+}
+
+/// Builder for [`Ficsum`] instances.
+pub struct FicsumBuilder {
+    n_features: usize,
+    n_classes: usize,
+    config: FicsumConfig,
+    variant: Variant,
+    factory: Option<Box<dyn ClassifierFactory>>,
+}
+
+impl FicsumBuilder {
+    /// Builder for a stream with `n_features` inputs and `n_classes` labels.
+    pub fn new(n_features: usize, n_classes: usize) -> Self {
+        Self {
+            n_features,
+            n_classes,
+            config: FicsumConfig::default(),
+            variant: Variant::Full,
+            factory: None,
+        }
+    }
+
+    /// Sets the hyper-parameters.
+    pub fn config(mut self, config: FicsumConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the meta-information variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Overrides the per-concept classifier factory (default: Hoeffding
+    /// tree, the paper's choice).
+    pub fn classifier_factory(mut self, factory: Box<dyn ClassifierFactory>) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Builds the framework instance.
+    pub fn build(self) -> Ficsum {
+        let (nf, nc) = (self.n_features, self.n_classes);
+        let factory = self.factory.unwrap_or_else(|| {
+            Box::new(move || Box::new(HoeffdingTree::new(nf, nc)) as Box<dyn Classifier>)
+        });
+        Ficsum::from_parts(
+            self.n_features,
+            self.n_classes,
+            self.config,
+            self.variant.extractor(self.n_features),
+            factory,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(Variant::Full.name(), "FiCSUM");
+        assert_eq!(Variant::ErrorRate.name(), "ER");
+        assert_eq!(Variant::SingleFunction(MetaFunction::Skew).name(), "fn:skew");
+    }
+
+    #[test]
+    fn extractor_dimensions_per_variant() {
+        assert_eq!(Variant::Full.extractor(4).schema().len(), 12 * 8 + 4);
+        assert_eq!(Variant::ErrorRate.extractor(4).schema().len(), 1);
+        assert_eq!(Variant::Supervised.extractor(4).schema().len(), 12 * 4);
+        assert_eq!(Variant::Unsupervised.extractor(4).schema().len(), 12 * 4);
+        assert_eq!(
+            Variant::SingleFunction(MetaFunction::Mean).extractor(4).schema().len(),
+            8
+        );
+    }
+
+    #[test]
+    fn builder_produces_runnable_instances() {
+        for v in [Variant::Full, Variant::ErrorRate, Variant::Supervised, Variant::Unsupervised] {
+            let mut f = FicsumBuilder::new(2, 2).variant(v).build();
+            for i in 0..100 {
+                f.process(&[i as f64 * 0.01, 0.5], i % 2);
+            }
+            assert_eq!(f.n_classes(), 2);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end recurrence scenarios for the FiCSUM core: detection at a
+//! known boundary, reuse on return, and behaviour knobs.
+
+use ficsum_core::{FicsumBuilder, FicsumConfig, Variant};
+use ficsum_synth::{
+    ConceptGenerator, LabelledConcept, RandomTreeLabeller, StaggerLabeller, UniformSampler,
+};
+
+fn quick() -> FicsumConfig {
+    FicsumConfig { window_size: 50, fingerprint_gap: 5, repository_gap: 50, ..Default::default() }
+}
+
+fn stagger_gens(n: usize) -> Vec<Box<dyn ConceptGenerator>> {
+    (0..n)
+        .map(|c| {
+            Box::new(LabelledConcept::new(
+                UniformSampler::new(3, 300 + c as u64),
+                StaggerLabeller::new(c),
+                0.0,
+                400 + c as u64,
+            )) as Box<dyn ConceptGenerator>
+        })
+        .collect()
+}
+
+#[test]
+fn alternating_concepts_produce_drifts_and_bounded_fragmentation() {
+    let mut system = FicsumBuilder::new(3, 2).config(quick()).build();
+    let mut gens = stagger_gens(2);
+    for seg in 0..10 {
+        let g = &mut gens[seg % 2];
+        for _ in 0..700 {
+            let o = g.generate();
+            system.process(&o.features, o.label);
+        }
+    }
+    let stats = system.stats();
+    assert!(stats.n_drifts >= 3, "boundaries should be noticed: {stats:?}");
+    assert!(
+        stats.n_reuses + stats.n_recheck_switches >= 1,
+        "at least one recurrence should be recognised: {stats:?}"
+    );
+    assert!(
+        stats.n_new_concepts <= 12,
+        "fragmentation out of control: {stats:?}"
+    );
+}
+
+#[test]
+fn unsupervised_variant_sees_pure_feature_drift() {
+    // Fixed labelling function; concepts differ only in feature means.
+    use ficsum_synth::{ChannelModulation, ModulatedSampler};
+    let labeller = RandomTreeLabeller::with_pool(4, 3, 2, 4, 77);
+    let gens: Vec<Box<dyn ConceptGenerator>> = (0..2)
+        .map(|c| {
+            let m = ChannelModulation {
+                shift: if c == 0 { -0.4 } else { 0.4 },
+                ..ChannelModulation::identity()
+            };
+            let sampler = ModulatedSampler::uniform(UniformSampler::new(4, 10 + c as u64), m);
+            Box::new(LabelledConcept::new(sampler, labeller.clone(), 0.0, 20 + c as u64))
+                as Box<dyn ConceptGenerator>
+        })
+        .collect();
+    let mut gens = gens;
+    let mut system =
+        FicsumBuilder::new(4, 2).variant(Variant::Unsupervised).config(quick()).build();
+    for seg in 0..6 {
+        let g = &mut gens[seg % 2];
+        g.restart_segment();
+        for _ in 0..700 {
+            let o = g.generate();
+            system.process(&o.features, o.label);
+        }
+    }
+    assert!(
+        system.stats().n_drifts >= 2,
+        "U-MI must see a +/-0.4 mean shift: {:?}",
+        system.stats()
+    );
+}
+
+#[test]
+fn disabling_second_check_is_respected() {
+    let config = FicsumConfig { second_check: false, ..quick() };
+    let mut system = FicsumBuilder::new(3, 2).config(config).build();
+    let mut gens = stagger_gens(3);
+    for seg in 0..9 {
+        let g = &mut gens[seg % 3];
+        for _ in 0..600 {
+            let o = g.generate();
+            system.process(&o.features, o.label);
+        }
+    }
+    assert_eq!(system.stats().n_recheck_switches, 0);
+}
+
+#[test]
+fn weights_adapt_away_from_uniform_once_repository_exists() {
+    let mut system = FicsumBuilder::new(3, 2).config(quick()).build();
+    let mut gens = stagger_gens(2);
+    for seg in 0..6 {
+        let g = &mut gens[seg % 2];
+        for _ in 0..700 {
+            let o = g.generate();
+            system.process(&o.features, o.label);
+        }
+    }
+    let w = &system.weights().values;
+    let spread = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - w.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 0.1, "weights should differentiate dimensions: spread {spread}");
+}

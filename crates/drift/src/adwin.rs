@@ -1,0 +1,362 @@
+//! ADWIN — ADaptive WINdowing (Bifet & Gavaldà, SDM 2007).
+//!
+//! ADWIN maintains a variable-length window of recent values and shrinks it
+//! whenever two "large enough" sub-windows exhibit "distinct enough"
+//! averages, using a Hoeffding-style bound with Bonferroni correction. The
+//! window is stored as an exponential histogram: buckets of exponentially
+//! growing size with at most `M + 1` buckets per size class, giving
+//! logarithmic memory in the window length.
+//!
+//! This is the detector FiCSUM runs over its fingerprint-similarity stream
+//! (Algorithm 1, line 24) and the detector HTCD/ARF run over error
+//! indicators.
+
+use std::collections::VecDeque;
+
+use crate::detector::{DetectorState, DriftDetector};
+
+/// One exponential-histogram bucket summarising `count` consecutive values.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    count: u64,
+    sum: f64,
+    /// Sum of squared deviations from the bucket mean (Welford M2), enabling
+    /// exact variance maintenance under merges and deletions.
+    m2: f64,
+}
+
+impl Bucket {
+    fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Merges two buckets via the parallel-Welford identity.
+    fn merge(a: Bucket, b: Bucket) -> Bucket {
+        let count = a.count + b.count;
+        let delta = b.mean() - a.mean();
+        let m2 = a.m2 + b.m2 + delta * delta * (a.count as f64 * b.count as f64) / count as f64;
+        Bucket { count, sum: a.sum + b.sum, m2 }
+    }
+}
+
+/// The ADWIN change detector.
+///
+/// `delta` is the confidence parameter: smaller values make detection more
+/// conservative. The default matches the common `delta = 0.002`.
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    delta: f64,
+    /// Max buckets per size class before two are merged upward.
+    max_buckets: usize,
+    /// Minimum sub-window length considered for a cut.
+    min_sub_window: u64,
+    /// How often (in updates) the cut test runs; 1 = every update.
+    clock: u64,
+    /// rows[i] holds buckets of capacity 2^i, front = oldest.
+    rows: Vec<VecDeque<Bucket>>,
+    width: u64,
+    sum: f64,
+    m2: f64,
+    ticks: u64,
+    n_detections: u64,
+    state: DetectorState,
+}
+
+impl Default for Adwin {
+    fn default() -> Self {
+        Self::new(0.002)
+    }
+}
+
+impl Adwin {
+    /// Creates a detector with confidence `delta` (must be in `(0, 1)`).
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        Self {
+            delta,
+            max_buckets: 5,
+            min_sub_window: 5,
+            clock: 1,
+            rows: vec![VecDeque::new()],
+            width: 0,
+            sum: 0.0,
+            m2: 0.0,
+            ticks: 0,
+            n_detections: 0,
+            state: DetectorState::Stable,
+        }
+    }
+
+    /// Sets how many updates pass between cut tests (default 1). Raising this
+    /// trades detection latency for speed, exactly like MOA's `clock`.
+    pub fn with_clock(mut self, clock: u64) -> Self {
+        assert!(clock >= 1);
+        self.clock = clock;
+        self
+    }
+
+    /// Current window length.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Mean of the current window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.width == 0 {
+            0.0
+        } else {
+            self.sum / self.width as f64
+        }
+    }
+
+    /// Population variance of the current window.
+    pub fn variance(&self) -> f64 {
+        if self.width < 2 {
+            0.0
+        } else {
+            self.m2 / self.width as f64
+        }
+    }
+
+    /// Total number of drifts detected since construction/reset.
+    pub fn n_detections(&self) -> u64 {
+        self.n_detections
+    }
+
+    fn insert(&mut self, value: f64) {
+        // Whole-window Welford update.
+        let old_mean = if self.width == 0 { value } else { self.sum / self.width as f64 };
+        self.width += 1;
+        self.sum += value;
+        let new_mean = self.sum / self.width as f64;
+        self.m2 += (value - old_mean) * (value - new_mean);
+
+        // New size-1 bucket, newest end of row 0.
+        self.rows[0].push_back(Bucket { count: 1, sum: value, m2: 0.0 });
+        self.compress();
+    }
+
+    /// Merge oldest pairs upward whenever a row exceeds `max_buckets + 1`.
+    fn compress(&mut self) {
+        let mut row = 0;
+        while row < self.rows.len() {
+            if self.rows[row].len() > self.max_buckets + 1 {
+                if row + 1 == self.rows.len() {
+                    self.rows.push(VecDeque::new());
+                }
+                let a = self.rows[row].pop_front().expect("len checked");
+                let b = self.rows[row].pop_front().expect("len checked");
+                self.rows[row + 1].push_back(Bucket::merge(a, b));
+            } else {
+                row += 1;
+            }
+        }
+    }
+
+    /// Removes the oldest bucket, reversing its contribution to the window
+    /// aggregates.
+    fn drop_oldest_bucket(&mut self) {
+        let row = self
+            .rows
+            .iter()
+            .rposition(|r| !r.is_empty())
+            .expect("drop called on non-empty window");
+        let bucket = self.rows[row].pop_front().expect("row non-empty");
+        let n = self.width as f64;
+        let n2 = bucket.count as f64;
+        let n1 = n - n2;
+        if n1 <= 0.0 {
+            self.width = 0;
+            self.sum = 0.0;
+            self.m2 = 0.0;
+            return;
+        }
+        let mean = self.sum / n;
+        let mean2 = bucket.mean();
+        let mean1 = (n * mean - n2 * mean2) / n1;
+        let delta = mean2 - mean1;
+        self.m2 = (self.m2 - bucket.m2 - delta * delta * n1 * n2 / n).max(0.0);
+        self.sum -= bucket.sum;
+        self.width -= bucket.count;
+    }
+
+    /// Runs the cut test, shrinking the window while any split point shows a
+    /// significant difference in means. Returns whether anything was cut.
+    fn detect_change(&mut self) -> bool {
+        let mut changed = false;
+        loop {
+            if self.width < 2 * self.min_sub_window {
+                break;
+            }
+            let total_n = self.width as f64;
+            let total_sum = self.sum;
+            let v = self.variance();
+            // Bonferroni-style correction: delta' = delta / ln(n).
+            let dd = (2.0 * (total_n.ln().max(1.0)) / self.delta).ln();
+
+            let mut cut = false;
+            let mut n0: f64 = 0.0;
+            let mut sum0: f64 = 0.0;
+            // Oldest buckets live at the back rows' fronts; iterate oldest to
+            // newest: highest row first, each row front-to-back.
+            'outer: for row in (0..self.rows.len()).rev() {
+                for (i, bucket) in self.rows[row].iter().enumerate() {
+                    n0 += bucket.count as f64;
+                    sum0 += bucket.sum;
+                    let n1 = total_n - n0;
+                    // Never cut inside the newest bucket or below min width.
+                    let is_last = row == 0 && i + 1 == self.rows[0].len();
+                    if is_last {
+                        break 'outer;
+                    }
+                    if n0 < self.min_sub_window as f64 || n1 < self.min_sub_window as f64 {
+                        continue;
+                    }
+                    let mu0 = sum0 / n0;
+                    let mu1 = (total_sum - sum0) / n1;
+                    let m = 1.0 / n0 + 1.0 / n1;
+                    let epsilon = (2.0 * m * v * dd).sqrt() + (2.0 / 3.0) * m * dd;
+                    if (mu0 - mu1).abs() > epsilon {
+                        cut = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if cut {
+                self.drop_oldest_bucket();
+                changed = true;
+            } else {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+impl DriftDetector for Adwin {
+    fn add(&mut self, value: f64) -> DetectorState {
+        self.insert(value);
+        self.ticks += 1;
+        self.state = DetectorState::Stable;
+        if self.ticks % self.clock == 0 && self.detect_change() {
+            self.n_detections += 1;
+            self.state = DetectorState::Drift;
+        }
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let delta = self.delta;
+        let clock = self.clock;
+        *self = Adwin::new(delta).with_clock(clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stable_stream_rarely_alarms() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut adwin = Adwin::new(0.002);
+        let mut drifts = 0;
+        for _ in 0..5000 {
+            let v: f64 = rng.random::<f64>(); // uniform [0,1), stationary
+            if adwin.add(v) == DetectorState::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 2, "too many false alarms: {drifts}");
+        assert!(adwin.width() > 1000, "window should grow under stationarity");
+    }
+
+    #[test]
+    fn abrupt_shift_is_detected_quickly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut adwin = Adwin::new(0.002);
+        for _ in 0..1000 {
+            adwin.add(rng.random::<f64>() * 0.2);
+        }
+        let mut detected_at = None;
+        for i in 0..500 {
+            if adwin.add(0.8 + rng.random::<f64>() * 0.2) == DetectorState::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("shift of 0.6 must be detected");
+        assert!(at < 100, "detection too slow: {at}");
+        // Keep feeding the new regime: the window converges to its mean.
+        for _ in 0..500 {
+            adwin.add(0.8 + rng.random::<f64>() * 0.2);
+        }
+        assert!(adwin.mean() > 0.5, "window mean {} stuck on old regime", adwin.mean());
+    }
+
+    #[test]
+    fn window_mean_tracks_input() {
+        let mut adwin = Adwin::new(0.01);
+        for _ in 0..100 {
+            adwin.add(1.0);
+        }
+        assert_eq!(adwin.width(), 100);
+        assert!((adwin.mean() - 1.0).abs() < 1e-12);
+        assert!(adwin.variance() < 1e-12);
+    }
+
+    #[test]
+    fn gradual_drift_shrinks_window() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut adwin = Adwin::new(0.002);
+        for i in 0..4000 {
+            let level = if i < 2000 { 0.2 } else { 0.2 + (i - 2000) as f64 * 0.0005 };
+            adwin.add(level + rng.random::<f64>() * 0.1);
+        }
+        // Window must not contain the whole stream: old mean was cut away.
+        assert!(adwin.width() < 3000);
+        assert!(adwin.n_detections() >= 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adwin = Adwin::new(0.002);
+        for _ in 0..50 {
+            adwin.add(0.5);
+        }
+        adwin.reset();
+        assert_eq!(adwin.width(), 0);
+        assert_eq!(adwin.mean(), 0.0);
+        assert_eq!(adwin.state(), DetectorState::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn invalid_delta_panics() {
+        let _ = Adwin::new(1.5);
+    }
+
+    #[test]
+    fn variance_maintenance_is_exact_under_compression() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut adwin = Adwin::new(1e-9); // effectively never cut
+        let mut values = Vec::new();
+        for _ in 0..777 {
+            let v = rng.random::<f64>() * 3.0 - 1.0;
+            values.push(v);
+            adwin.add(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert_eq!(adwin.width(), 777);
+        assert!((adwin.mean() - mean).abs() < 1e-9);
+        assert!((adwin.variance() - var).abs() < 1e-9);
+    }
+}

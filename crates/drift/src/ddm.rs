@@ -1,0 +1,167 @@
+//! DDM — Drift Detection Method (Gama et al., SBIA 2004).
+//!
+//! DDM monitors the classifier's online error rate `p_i` together with its
+//! binomial standard deviation `s_i = sqrt(p_i (1 - p_i) / i)`. In
+//! stationary conditions `p_i + s_i` decreases; DDM records the minimum
+//! `p_min + s_min` and raises a warning when `p_i + s_i > p_min + 2 s_min`
+//! and a drift when it exceeds `p_min + 3 s_min`.
+
+use crate::detector::{DetectorState, DriftDetector};
+
+/// The DDM error-rate drift detector.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    min_instances: u64,
+    warning_level: f64,
+    drift_level: f64,
+    n: u64,
+    errors: u64,
+    p_min: f64,
+    s_min: f64,
+    state: DetectorState,
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Self::new(30, 2.0, 3.0)
+    }
+}
+
+impl Ddm {
+    /// `min_instances` observations are required before alarms can fire;
+    /// `warning_level` / `drift_level` are the multiples of `s_min` above
+    /// `p_min` that trigger each state (2 and 3 in the paper).
+    pub fn new(min_instances: u64, warning_level: f64, drift_level: f64) -> Self {
+        assert!(drift_level > warning_level && warning_level > 0.0);
+        Self {
+            min_instances,
+            warning_level,
+            drift_level,
+            n: 0,
+            errors: 0,
+            p_min: f64::INFINITY,
+            s_min: f64::INFINITY,
+            state: DetectorState::Stable,
+        }
+    }
+
+    /// Current running error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.n as f64
+        }
+    }
+}
+
+impl DriftDetector for Ddm {
+    fn add(&mut self, value: f64) -> DetectorState {
+        // After a drift the detector restarts from scratch.
+        if self.state == DetectorState::Drift {
+            self.reset();
+        }
+        self.n += 1;
+        if value >= 0.5 {
+            self.errors += 1;
+        }
+        let p = self.error_rate();
+        let s = (p * (1.0 - p) / self.n as f64).sqrt();
+
+        self.state = DetectorState::Stable;
+        if self.n < self.min_instances {
+            return self.state;
+        }
+        if p + s <= self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        if p + s > self.p_min + self.drift_level * self.s_min {
+            self.state = DetectorState::Drift;
+        } else if p + s > self.p_min + self.warning_level * self.s_min {
+            self.state = DetectorState::Warning;
+        }
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let (mi, wl, dl) = (self.min_instances, self.warning_level, self.drift_level);
+        *self = Ddm::new(mi, wl, dl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds a deterministic pattern with one error every `period`
+    /// observations; returns the index at which drift fired, if any.
+    fn feed_periodic(d: &mut Ddm, period: usize, n: usize) -> Option<usize> {
+        for i in 0..n {
+            let err = if (i + 1) % period == 0 { 1.0 } else { 0.0 };
+            if d.add(err) == DetectorState::Drift {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn detects_error_rate_jump() {
+        let mut ddm = Ddm::default();
+        assert!(feed_periodic(&mut ddm, 10, 2000).is_none());
+        // Error rate jumps from 0.1 to every observation being wrong.
+        let at = feed_periodic(&mut ddm, 1, 2000).expect("jump must fire");
+        assert!(at < 300, "detection too slow: {at}");
+    }
+
+    #[test]
+    fn stationary_periodic_errors_are_stable() {
+        let mut ddm = Ddm::default();
+        assert!(feed_periodic(&mut ddm, 5, 5000).is_none());
+    }
+
+    #[test]
+    fn warning_precedes_drift() {
+        let mut ddm = Ddm::default();
+        feed_periodic(&mut ddm, 10, 2000);
+        let mut saw_warning = false;
+        for i in 0..2000 {
+            // Moderate degradation: one error every 3 observations.
+            let err = if i % 3 == 0 { 1.0 } else { 0.0 };
+            match ddm.add(err) {
+                DetectorState::Warning => saw_warning = true,
+                DetectorState::Drift => break,
+                DetectorState::Stable => {}
+            }
+        }
+        assert!(saw_warning, "expected a warning zone before drift");
+    }
+
+    #[test]
+    fn resets_after_drift_automatically() {
+        let mut ddm = Ddm::default();
+        assert!(feed_periodic(&mut ddm, 10, 1000).is_none());
+        feed_periodic(&mut ddm, 1, 1000).expect("must fire");
+        // The detector restarts its statistics on the next update and must be
+        // able to fire again on a fresh jump.
+        assert!(feed_periodic(&mut ddm, 10, 1000).is_none(), "should restart cleanly");
+        assert!(feed_periodic(&mut ddm, 1, 1000).is_some(), "must fire again after reset");
+    }
+
+    #[test]
+    fn error_rate_tracks_inputs() {
+        let mut ddm = Ddm::default();
+        for _ in 0..10 {
+            ddm.add(1.0);
+        }
+        for _ in 0..10 {
+            ddm.add(0.0);
+        }
+        assert!((ddm.error_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! The common drift-detector interface.
+
+/// Tri-state output of a drift detector after each update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorState {
+    /// No evidence of change.
+    #[default]
+    Stable,
+    /// Change is suspected (warning zone); learners may start training a
+    /// background model.
+    Warning,
+    /// Change confirmed; the monitored distribution has drifted.
+    Drift,
+}
+
+/// An online change detector over a univariate stream.
+///
+/// Implementations consume one value per call to [`DriftDetector::add`] and
+/// expose their current state. Detectors that operate on classification
+/// errors (DDM, EDDM, HDDM-A) interpret the value as an error indicator
+/// (anything `>= 0.5` counts as an error); ADWIN accepts arbitrary bounded
+/// real values, which is what lets FiCSUM run it over fingerprint
+/// similarities.
+pub trait DriftDetector {
+    /// Consumes one value and returns the resulting state.
+    fn add(&mut self, value: f64) -> DetectorState;
+
+    /// State after the most recent update.
+    fn state(&self) -> DetectorState;
+
+    /// Whether the most recent update confirmed a drift.
+    fn drift_detected(&self) -> bool {
+        self.state() == DetectorState::Drift
+    }
+
+    /// Whether the most recent update entered the warning zone.
+    fn warning_detected(&self) -> bool {
+        self.state() == DetectorState::Warning
+    }
+
+    /// Resets all internal state, forgetting everything seen so far.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(DetectorState);
+    impl DriftDetector for Always {
+        fn add(&mut self, _v: f64) -> DetectorState {
+            self.0
+        }
+        fn state(&self) -> DetectorState {
+            self.0
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn default_flag_helpers() {
+        assert!(Always(DetectorState::Drift).drift_detected());
+        assert!(!Always(DetectorState::Drift).warning_detected());
+        assert!(Always(DetectorState::Warning).warning_detected());
+        assert!(!Always(DetectorState::Stable).drift_detected());
+    }
+}

@@ -1,0 +1,141 @@
+//! HDDM-A — drift detection with Hoeffding's inequality on averages
+//! (Frías-Blanco et al., IEEE TKDE 2015).
+//!
+//! HDDM-A compares the running average of the whole sequence against the
+//! prefix whose Hoeffding upper bound was smallest (for detecting an
+//! *increase*, e.g. in error rate). A drift fires when the difference of the
+//! two averages exceeds the Hoeffding bound for the suffix at the drift
+//! confidence; a warning fires at the (looser) warning confidence.
+
+use crate::detector::{DetectorState, DriftDetector};
+
+/// The HDDM-A change detector (one-sided, increase in mean).
+#[derive(Debug, Clone)]
+pub struct HddmA {
+    drift_confidence: f64,
+    warning_confidence: f64,
+    n: u64,
+    sum: f64,
+    n_min: u64,
+    sum_min: f64,
+    eps_min: f64,
+    state: DetectorState,
+}
+
+impl Default for HddmA {
+    fn default() -> Self {
+        Self::new(0.001, 0.005)
+    }
+}
+
+impl HddmA {
+    /// `drift_confidence < warning_confidence`, both in `(0, 1)`.
+    pub fn new(drift_confidence: f64, warning_confidence: f64) -> Self {
+        assert!(drift_confidence < warning_confidence);
+        assert!(drift_confidence > 0.0 && warning_confidence < 1.0);
+        Self {
+            drift_confidence,
+            warning_confidence,
+            n: 0,
+            sum: 0.0,
+            n_min: 0,
+            sum_min: 0.0,
+            eps_min: f64::INFINITY,
+            state: DetectorState::Stable,
+        }
+    }
+
+    fn hoeffding_eps(n: f64, confidence: f64) -> f64 {
+        ((1.0 / (2.0 * n)) * (1.0 / confidence).ln()).sqrt()
+    }
+
+    /// Does the suffix after the stored minimum prefix show a significant
+    /// increase at `confidence`?
+    fn mean_increased(&self, confidence: f64) -> bool {
+        if self.n_min == 0 || self.n_min == self.n {
+            return false;
+        }
+        let (n, n_min) = (self.n as f64, self.n_min as f64);
+        let m = (n - n_min) / (n_min * n);
+        let bound = (m / 2.0 * (2.0 / confidence).ln()).sqrt();
+        let mean_total = self.sum / n;
+        let mean_min = self.sum_min / n_min;
+        mean_total - mean_min >= bound
+    }
+}
+
+impl DriftDetector for HddmA {
+    fn add(&mut self, value: f64) -> DetectorState {
+        if self.state == DetectorState::Drift {
+            self.reset();
+        }
+        self.n += 1;
+        self.sum += value;
+        let eps = Self::hoeffding_eps(self.n as f64, self.drift_confidence);
+        let upper = self.sum / self.n as f64 + eps;
+        if self.n_min == 0 || upper < self.sum_min / self.n_min as f64 + self.eps_min {
+            self.n_min = self.n;
+            self.sum_min = self.sum;
+            self.eps_min = eps;
+        }
+
+        self.state = if self.mean_increased(self.drift_confidence) {
+            DetectorState::Drift
+        } else if self.mean_increased(self.warning_confidence) {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let (d, w) = (self.drift_confidence, self.warning_confidence);
+        *self = HddmA::new(d, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn feed(d: &mut HddmA, rng: &mut StdRng, p: f64, n: usize) -> Option<usize> {
+        for i in 0..n {
+            let err = if rng.random::<f64>() < p { 1.0 } else { 0.0 };
+            if d.add(err) == DetectorState::Drift {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn detects_mean_increase() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut h = HddmA::default();
+        assert!(feed(&mut h, &mut rng, 0.1, 2000).is_none());
+        let at = feed(&mut h, &mut rng, 0.5, 2000).expect("increase must fire");
+        assert!(at < 200, "detection too slow: {at}");
+    }
+
+    #[test]
+    fn no_alarm_on_stationary() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut h = HddmA::default();
+        assert!(feed(&mut h, &mut rng, 0.2, 10_000).is_none());
+    }
+
+    #[test]
+    fn decrease_does_not_alarm() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut h = HddmA::default();
+        feed(&mut h, &mut rng, 0.5, 2000);
+        assert!(feed(&mut h, &mut rng, 0.05, 2000).is_none());
+    }
+}

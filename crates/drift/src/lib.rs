@@ -1,0 +1,31 @@
+//! Concept drift detectors.
+//!
+//! FiCSUM feeds a stream of *similarity values* into an explicit drift
+//! detector (the paper uses ADWIN); the baseline frameworks feed *error
+//! indicators* into ADWIN, DDM or EDDM. All detectors implement the common
+//! [`DriftDetector`] trait over a stream of real values.
+//!
+//! Implemented detectors:
+//!
+//! * [`Adwin`] — ADaptive WINdowing (Bifet & Gavaldà, SDM 2007), with the
+//!   exponential-histogram bucket compression scheme,
+//! * [`Ddm`] — Drift Detection Method (Gama et al., SBIA 2004),
+//! * [`Eddm`] — Early Drift Detection Method (Baena-García et al., 2006),
+//!   based on the distance between classification errors,
+//! * [`HddmA`] — Hoeffding's-bound drift detection on averages
+//!   (Frías-Blanco et al., TKDE 2015),
+//! * [`PageHinkley`] — the classic Page–Hinkley sequential test.
+
+pub mod adwin;
+pub mod ddm;
+pub mod detector;
+pub mod eddm;
+pub mod hddm;
+pub mod page_hinkley;
+
+pub use adwin::Adwin;
+pub use ddm::Ddm;
+pub use detector::{DetectorState, DriftDetector};
+pub use eddm::Eddm;
+pub use hddm::HddmA;
+pub use page_hinkley::PageHinkley;

@@ -1,0 +1,161 @@
+//! Page–Hinkley test for change detection.
+//!
+//! A classic sequential change detector over a real-valued stream: it
+//! accumulates the deviation of each observation from the running mean
+//! (minus a tolerance `delta`) and alarms when the accumulated drift rises
+//! more than `lambda` above its historical minimum. Cheap (O(1)/update),
+//! one-sided (detects mean *increases*, e.g. of an error rate), and a
+//! common companion baseline to DDM/ADWIN in the drift literature.
+
+use crate::detector::{DetectorState, DriftDetector};
+
+/// The Page–Hinkley change detector.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    /// Tolerance subtracted from each deviation (absorbs noise).
+    delta: f64,
+    /// Alarm threshold on the test statistic.
+    lambda: f64,
+    /// Warning threshold (fraction of `lambda`).
+    warning_fraction: f64,
+    n: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+    state: DetectorState,
+}
+
+impl Default for PageHinkley {
+    fn default() -> Self {
+        Self::new(0.005, 50.0)
+    }
+}
+
+impl PageHinkley {
+    /// Detector with tolerance `delta` and threshold `lambda` (both > 0).
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(delta >= 0.0 && lambda > 0.0);
+        Self {
+            delta,
+            lambda,
+            warning_fraction: 0.75,
+            n: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            minimum: f64::INFINITY,
+            state: DetectorState::Stable,
+        }
+    }
+
+    /// Current test statistic (distance above the historical minimum).
+    pub fn statistic(&self) -> f64 {
+        if self.minimum.is_finite() {
+            self.cumulative - self.minimum
+        } else {
+            0.0
+        }
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn add(&mut self, value: f64) -> DetectorState {
+        if self.state == DetectorState::Drift {
+            self.reset();
+        }
+        self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
+        self.cumulative += value - self.mean - self.delta;
+        if self.cumulative < self.minimum {
+            self.minimum = self.cumulative;
+        }
+        let stat = self.statistic();
+        self.state = if stat > self.lambda {
+            DetectorState::Drift
+        } else if stat > self.lambda * self.warning_fraction {
+            DetectorState::Warning
+        } else {
+            DetectorState::Stable
+        };
+        self.state
+    }
+
+    fn state(&self) -> DetectorState {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        let (d, l) = (self.delta, self.lambda);
+        *self = PageHinkley::new(d, l);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_periodic(d: &mut PageHinkley, period: usize, n: usize) -> Option<usize> {
+        for i in 0..n {
+            let err = if (i + 1) % period == 0 { 1.0 } else { 0.0 };
+            if d.add(err) == DetectorState::Drift {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn stationary_stream_is_stable() {
+        let mut ph = PageHinkley::default();
+        assert!(feed_periodic(&mut ph, 5, 10_000).is_none());
+    }
+
+    #[test]
+    fn detects_mean_increase() {
+        let mut ph = PageHinkley::default();
+        assert!(feed_periodic(&mut ph, 10, 2000).is_none());
+        let at = feed_periodic(&mut ph, 2, 2000).expect("jump must fire");
+        assert!(at < 400, "detection too slow: {at}");
+    }
+
+    #[test]
+    fn ignores_mean_decrease() {
+        let mut ph = PageHinkley::default();
+        feed_periodic(&mut ph, 2, 2000);
+        // improvement: errors thin out -> statistic shrinks, no alarm
+        let mut fired = false;
+        for i in 0..4000 {
+            let err = if i % 20 == 0 { 1.0 } else { 0.0 };
+            if ph.add(err) == DetectorState::Drift {
+                fired = true;
+            }
+        }
+        assert!(!fired, "one-sided detector must not alarm on improvement");
+    }
+
+    #[test]
+    fn statistic_is_nonnegative_and_resets() {
+        let mut ph = PageHinkley::new(0.01, 10.0);
+        for i in 0..500 {
+            ph.add(if i % 3 == 0 { 1.0 } else { 0.0 });
+            assert!(ph.statistic() >= -1e-12);
+        }
+        ph.reset();
+        assert_eq!(ph.statistic(), 0.0);
+        assert_eq!(ph.state(), DetectorState::Stable);
+    }
+
+    #[test]
+    fn warning_precedes_drift() {
+        let mut ph = PageHinkley::new(0.005, 50.0);
+        feed_periodic(&mut ph, 10, 1000);
+        let mut saw_warning = false;
+        for i in 0..4000 {
+            match ph.add(if i % 2 == 0 { 1.0 } else { 0.0 }) {
+                DetectorState::Warning => saw_warning = true,
+                DetectorState::Drift => break,
+                DetectorState::Stable => {}
+            }
+        }
+        assert!(saw_warning);
+    }
+}

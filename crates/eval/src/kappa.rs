@@ -1,0 +1,139 @@
+//! Prequential kappa statistic.
+
+/// Cohen's kappa computed over a prequential (test-then-train) run.
+///
+/// `kappa = (p0 - pc) / (1 - pc)` where `p0` is the observed accuracy and
+/// `pc` the agreement expected by chance from the confusion-matrix
+/// marginals. Kappa corrects for class imbalance, which is why the paper
+/// reports it instead of raw accuracy.
+#[derive(Debug, Clone)]
+pub struct KappaEvaluator {
+    /// `confusion[truth][predicted]`.
+    confusion: Vec<Vec<u64>>,
+    n: u64,
+}
+
+impl KappaEvaluator {
+    /// Evaluator over `n_classes` labels.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes >= 2);
+        Self { confusion: vec![vec![0; n_classes]; n_classes], n: 0 }
+    }
+
+    /// Records one (truth, prediction) pair. Out-of-range labels are
+    /// clamped into the final class so malformed predictions still count
+    /// as errors rather than panicking.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        let k = self.confusion.len();
+        self.confusion[truth.min(k - 1)][predicted.min(k - 1)] += 1;
+        self.n += 1;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Observed accuracy `p0`.
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.confusion.len()).map(|i| self.confusion[i][i]).sum();
+        correct as f64 / self.n as f64
+    }
+
+    /// Chance agreement `pc` from the marginals.
+    pub fn chance_agreement(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let k = self.confusion.len();
+        let n = self.n as f64;
+        (0..k)
+            .map(|c| {
+                let row: u64 = self.confusion[c].iter().sum();
+                let col: u64 = (0..k).map(|r| self.confusion[r][c]).sum();
+                (row as f64 / n) * (col as f64 / n)
+            })
+            .sum()
+    }
+
+    /// The kappa statistic; 0 when degenerate (empty, or a constant
+    /// predictor over a constant truth).
+    pub fn kappa(&self) -> f64 {
+        let pc = self.chance_agreement();
+        if (1.0 - pc).abs() < 1e-12 {
+            return 0.0;
+        }
+        (self.accuracy() - pc) / (1.0 - pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictor_has_kappa_one() {
+        let mut k = KappaEvaluator::new(3);
+        for c in 0..3 {
+            for _ in 0..10 {
+                k.record(c, c);
+            }
+        }
+        assert!((k.kappa() - 1.0).abs() < 1e-12);
+        assert_eq!(k.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn random_predictor_has_kappa_near_zero() {
+        // Uniform truth, uniform independent predictions.
+        let mut k = KappaEvaluator::new(2);
+        for i in 0..1000 {
+            k.record(i % 2, (i / 2) % 2);
+        }
+        assert!(k.kappa().abs() < 0.01, "kappa {}", k.kappa());
+    }
+
+    #[test]
+    fn majority_predictor_on_imbalanced_truth_has_kappa_zero() {
+        // 90% of truth is class 0; always predicting 0 gives accuracy 0.9
+        // but kappa 0 — the exact imbalance correction the paper relies on.
+        let mut k = KappaEvaluator::new(2);
+        for i in 0..1000 {
+            k.record(if i % 10 == 0 { 1 } else { 0 }, 0);
+        }
+        assert!((k.accuracy() - 0.9).abs() < 1e-9);
+        assert!(k.kappa().abs() < 1e-9, "kappa {}", k.kappa());
+    }
+
+    #[test]
+    fn out_of_range_labels_are_clamped() {
+        let mut k = KappaEvaluator::new(2);
+        k.record(0, 99); // counts as prediction of class 1: an error
+        k.record(0, 0);
+        assert_eq!(k.count(), 2);
+        assert!((k.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let k = KappaEvaluator::new(2);
+        assert_eq!(k.kappa(), 0.0);
+        assert_eq!(k.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let mut k = KappaEvaluator::new(2);
+        // 80% correct, balanced classes.
+        for i in 0..1000 {
+            let truth = i % 2;
+            let pred = if i % 5 == 0 { 1 - truth } else { truth };
+            k.record(truth, pred);
+        }
+        let kappa = k.kappa();
+        assert!((0.55..0.65).contains(&kappa), "kappa {kappa}"); // 2*0.8-1 = 0.6
+    }
+}

@@ -1,0 +1,166 @@
+//! Prequential evaluation runner.
+
+use std::time::Instant;
+
+use ficsum_stream::{Observation, StreamSource};
+
+use crate::cf1::CoOccurrenceF1;
+use crate::kappa::KappaEvaluator;
+
+/// A stream-classification system under evaluation.
+///
+/// Implemented by FiCSUM (all variants) and every baseline framework in
+/// `ficsum-baselines`. The `model` identity returned by
+/// [`EvaluatedSystem::step`] is whatever the system considers its active
+/// model — for single-classifier frameworks the classifier generation, for
+/// FiCSUM the active concept id, for ensembles a constant (they have one
+/// evolving model, which is exactly why their C-F1 is poor in Table VI).
+pub trait EvaluatedSystem {
+    /// Processes one observation prequentially, returning the prediction
+    /// made *before* training and the identity of the active model.
+    fn step(&mut self, x: &[f64], y: usize) -> (usize, usize);
+
+    /// Optional discrimination-ability probe, sampled periodically by the
+    /// runner (Section II-A of the paper; see `Ficsum::discrimination_probe`
+    /// for the exact quantity).
+    fn discrimination(&mut self) -> Option<f64> {
+        None
+    }
+
+    /// Display name.
+    fn name(&self) -> String;
+}
+
+impl EvaluatedSystem for Box<dyn EvaluatedSystem> {
+    fn step(&mut self, x: &[f64], y: usize) -> (usize, usize) {
+        (**self).step(x, y)
+    }
+
+    fn discrimination(&mut self) -> Option<f64> {
+        (**self).discrimination()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// Everything measured in one prequential run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// System display name.
+    pub system: String,
+    /// Prequential kappa statistic.
+    pub kappa: f64,
+    /// Prequential accuracy.
+    pub accuracy: f64,
+    /// Co-occurrence F1.
+    pub c_f1: f64,
+    /// Mean sampled discrimination ability (`None` if the system has none).
+    pub discrimination: Option<f64>,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// Observations processed.
+    pub n_observations: u64,
+    /// Distinct models the system exposed.
+    pub n_models: usize,
+}
+
+/// How often the runner samples the discrimination probe.
+const DISCRIMINATION_EVERY: u64 = 250;
+
+/// Drives `system` over `stream` prequentially and collects all metrics.
+pub fn evaluate<S: EvaluatedSystem>(
+    system: &mut S,
+    stream: &mut dyn StreamSource,
+    n_classes: usize,
+) -> RunResult {
+    let mut kappa = KappaEvaluator::new(n_classes.max(2));
+    let mut cf1 = CoOccurrenceF1::new();
+    let mut disc_sum = 0.0;
+    let mut disc_n = 0u64;
+    let mut t = 0u64;
+    let start = Instant::now();
+    while let Some(Observation { features, label, concept }) = stream.next_observation() {
+        let (prediction, model) = system.step(&features, label);
+        kappa.record(label, prediction);
+        cf1.record(concept, model);
+        t += 1;
+        if t % DISCRIMINATION_EVERY == 0 {
+            if let Some(d) = system.discrimination() {
+                if d.is_finite() {
+                    disc_sum += d;
+                    disc_n += 1;
+                }
+            }
+        }
+    }
+    RunResult {
+        system: system.name(),
+        kappa: kappa.kappa(),
+        accuracy: kappa.accuracy(),
+        c_f1: cf1.c_f1(),
+        discrimination: (disc_n > 0).then(|| disc_sum / disc_n as f64),
+        runtime_s: start.elapsed().as_secs_f64(),
+        n_observations: t,
+        n_models: cf1.n_models(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_stream::VecStream;
+
+    /// Oracle: predicts the label, reports the concept as its model.
+    struct Oracle;
+    impl EvaluatedSystem for Oracle {
+        fn step(&mut self, _x: &[f64], y: usize) -> (usize, usize) {
+            (y, y)
+        }
+        fn name(&self) -> String {
+            "oracle".into()
+        }
+    }
+
+    /// Constant: predicts 0 from model 0, discriminates nothing.
+    struct Constant;
+    impl EvaluatedSystem for Constant {
+        fn step(&mut self, _x: &[f64], _y: usize) -> (usize, usize) {
+            (0, 0)
+        }
+        fn discrimination(&mut self) -> Option<f64> {
+            Some(1.5)
+        }
+        fn name(&self) -> String {
+            "constant".into()
+        }
+    }
+
+    fn stream() -> VecStream {
+        let data = (0..1000)
+            .map(|i| Observation::with_concept(vec![i as f64], i % 2, i / 500))
+            .collect();
+        VecStream::new(data)
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let mut s = stream();
+        let r = evaluate(&mut Oracle, &mut s, 2);
+        assert!((r.kappa - 1.0).abs() < 1e-12);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.n_observations, 1000);
+        assert!(r.discrimination.is_none());
+    }
+
+    #[test]
+    fn constant_scores_zero_kappa() {
+        let mut s = stream();
+        let r = evaluate(&mut Constant, &mut s, 2);
+        assert!(r.kappa.abs() < 1e-9);
+        assert!((r.accuracy - 0.5).abs() < 1e-9);
+        assert_eq!(r.discrimination, Some(1.5));
+        assert_eq!(r.n_models, 1);
+    }
+}

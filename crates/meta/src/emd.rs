@@ -1,0 +1,263 @@
+//! Empirical Mode Decomposition and IMF entropy.
+//!
+//! The "entropy of intrinsic mode functions 1 & 2" meta-features (Ding &
+//! Luo, Entropy 2019) require decomposing a window into intrinsic mode
+//! functions (IMFs) via sifting: repeatedly subtracting the mean of the
+//! cubic-spline envelopes through the local maxima and minima until the
+//! residual behaves like an IMF. Each IMF is then summarised by the Shannon
+//! entropy of its value histogram, capturing behaviour at that timescale.
+
+use crate::spline::CubicSpline;
+
+/// Parameters of the sifting process.
+#[derive(Debug, Clone, Copy)]
+pub struct EmdConfig {
+    /// Stop sifting when the normalised squared change falls below this
+    /// (Huang's SD criterion, usually 0.2–0.3).
+    pub sd_threshold: f64,
+    /// Hard cap on sifting iterations per IMF.
+    pub max_siftings: usize,
+    /// Number of IMFs to extract.
+    pub n_imfs: usize,
+    /// Histogram bins for the entropy summary.
+    pub entropy_bins: usize,
+}
+
+impl Default for EmdConfig {
+    fn default() -> Self {
+        Self { sd_threshold: 0.3, max_siftings: 8, n_imfs: 2, entropy_bins: 10 }
+    }
+}
+
+/// Indices of local maxima (`true`) or minima (`false`), with plateau
+/// handling (the first point of a plateau counts).
+fn local_extrema(xs: &[f64], maxima: bool) -> Vec<usize> {
+    let mut out = Vec::new();
+    let n = xs.len();
+    if n < 3 {
+        return out;
+    }
+    for i in 1..n - 1 {
+        let (a, b, c) = (xs[i - 1], xs[i], xs[i + 1]);
+        let is_ext = if maxima { b > a && b >= c } else { b < a && b <= c };
+        if is_ext {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// One sifting pass: signal minus the mean envelope. `None` when the signal
+/// has too few extrema to build envelopes (it is a residual/trend).
+fn sift_once(xs: &[f64]) -> Option<Vec<f64>> {
+    let maxima = local_extrema(xs, true);
+    let minima = local_extrema(xs, false);
+    if maxima.len() < 2 || minima.len() < 2 {
+        return None;
+    }
+    let n = xs.len();
+    // Anchor envelopes at the endpoints to avoid swing-out.
+    let build = |idx: &[usize]| -> Option<CubicSpline> {
+        let mut kx = Vec::with_capacity(idx.len() + 2);
+        let mut ky = Vec::with_capacity(idx.len() + 2);
+        kx.push(0.0);
+        ky.push(xs[0]);
+        for &i in idx {
+            kx.push(i as f64);
+            ky.push(xs[i]);
+        }
+        if *idx.last().unwrap() != n - 1 {
+            kx.push((n - 1) as f64);
+            ky.push(xs[n - 1]);
+        }
+        CubicSpline::fit(&kx, &ky)
+    };
+    let upper = build(&maxima)?;
+    let lower = build(&minima)?;
+    Some(
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                xs[i] - 0.5 * (upper.eval(x) + lower.eval(x))
+            })
+            .collect(),
+    )
+}
+
+/// Extracts one IMF from `xs` by iterated sifting. Returns `None` when `xs`
+/// is already a residual.
+fn extract_imf(xs: &[f64], config: &EmdConfig) -> Option<Vec<f64>> {
+    let mut h = sift_once(xs)?;
+    for _ in 1..config.max_siftings {
+        let next = match sift_once(&h) {
+            Some(n) => n,
+            None => break,
+        };
+        // Huang's stopping criterion.
+        let num: f64 = h.iter().zip(&next).map(|(a, b)| (a - b) * (a - b)).sum();
+        let den: f64 = h.iter().map(|a| a * a).sum::<f64>().max(1e-12);
+        h = next;
+        if num / den < config.sd_threshold {
+            break;
+        }
+    }
+    Some(h)
+}
+
+/// Full decomposition: returns up to `config.n_imfs` IMFs (coarser modes
+/// later). The final residual is not returned.
+pub fn decompose(xs: &[f64], config: &EmdConfig) -> Vec<Vec<f64>> {
+    let mut residual = xs.to_vec();
+    let mut imfs = Vec::with_capacity(config.n_imfs);
+    for _ in 0..config.n_imfs {
+        match extract_imf(&residual, config) {
+            Some(imf) => {
+                for (r, i) in residual.iter_mut().zip(&imf) {
+                    *r -= i;
+                }
+                imfs.push(imf);
+            }
+            None => break,
+        }
+    }
+    imfs
+}
+
+/// Shannon entropy (nats) of an equal-width histogram of `xs`.
+fn histogram_entropy(xs: &[f64], bins: usize) -> f64 {
+    if xs.len() < 2 || bins < 2 {
+        return 0.0;
+    }
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi - lo).is_finite() || hi - lo <= f64::EPSILON {
+        return 0.0;
+    }
+    let mut counts = vec![0.0f64; bins];
+    for &x in xs {
+        let b = (((x - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1.0;
+    }
+    let n = xs.len() as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / n;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// The two IMF-entropy meta-features: `(H(IMF1), H(IMF2))`.
+///
+/// When the window is too smooth to yield an IMF, the corresponding entropy
+/// is 0 (no oscillatory behaviour at that timescale).
+pub fn imf_entropies(xs: &[f64], config: &EmdConfig) -> (f64, f64) {
+    let imfs = decompose(xs, config);
+    let h = |i: usize| {
+        imfs.get(i).map_or(0.0, |imf| histogram_entropy(imf, config.entropy_bins))
+    };
+    (h(0), h(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn extrema_detection() {
+        let xs = [0.0, 1.0, 0.0, -1.0, 0.0, 1.0, 0.0];
+        assert_eq!(local_extrema(&xs, true), vec![1, 5]);
+        assert_eq!(local_extrema(&xs, false), vec![3]);
+    }
+
+    #[test]
+    fn monotone_signal_has_no_imfs() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(decompose(&xs, &EmdConfig::default()).is_empty());
+        assert_eq!(imf_entropies(&xs, &EmdConfig::default()), (0.0, 0.0));
+    }
+
+    #[test]
+    fn imf1_captures_the_fast_component() {
+        // fast sine + slow sine: IMF1 should correlate with the fast one.
+        let n = 256;
+        let fast: Vec<f64> = (0..n).map(|i| (i as f64 * 1.0).sin()).collect();
+        let slow: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin() * 2.0).collect();
+        let xs: Vec<f64> = fast.iter().zip(&slow).map(|(a, b)| a + b).collect();
+        let imfs = decompose(&xs, &EmdConfig::default());
+        assert!(!imfs.is_empty());
+        let imf1 = &imfs[0];
+        // Correlation of IMF1 with the fast component.
+        let mf = fast.iter().sum::<f64>() / n as f64;
+        let mi = imf1.iter().sum::<f64>() / n as f64;
+        let num: f64 = fast.iter().zip(imf1).map(|(f, i)| (f - mf) * (i - mi)).sum();
+        let df: f64 = fast.iter().map(|f| (f - mf) * (f - mf)).sum::<f64>().sqrt();
+        let di: f64 = imf1.iter().map(|i| (i - mi) * (i - mi)).sum::<f64>().sqrt();
+        let corr = num / (df * di);
+        assert!(corr > 0.8, "IMF1 should track the fast sine, corr={corr}");
+    }
+
+    #[test]
+    fn decomposition_is_additive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.9).sin() + 0.3 * (i as f64 * 0.1).cos() + rng.random::<f64>() * 0.1)
+            .collect();
+        let config = EmdConfig::default();
+        let imfs = decompose(&xs, &config);
+        assert!(!imfs.is_empty());
+        // signal = sum(imfs) + residual; residual = signal - sum must have
+        // fewer oscillations (fewer extrema) than the signal.
+        let mut residual = xs.clone();
+        for imf in &imfs {
+            for (r, v) in residual.iter_mut().zip(imf) {
+                *r -= v;
+            }
+        }
+        let ext = |v: &[f64]| local_extrema(v, true).len() + local_extrema(v, false).len();
+        assert!(
+            ext(&residual) < ext(&xs),
+            "residual must be smoother: {} vs {}",
+            ext(&residual),
+            ext(&xs)
+        );
+    }
+
+    #[test]
+    fn entropies_distinguish_dense_from_spiky_oscillation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Dense oscillation: IMF values spread over their range.
+        let noise: Vec<f64> = (0..128).map(|_| rng.random::<f64>()).collect();
+        // Spiky signal: mostly flat with rare large impulses, so the IMF's
+        // value histogram is concentrated near zero (low entropy).
+        let spiky: Vec<f64> = (0..128)
+            .map(|i| {
+                let base = 0.01 * ((i % 3) as f64 - 1.0); // tiny ripple so extrema exist
+                if i % 32 == 5 {
+                    5.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let (hn, hn2) = imf_entropies(&noise, &EmdConfig::default());
+        let (hs, _) = imf_entropies(&spiky, &EmdConfig::default());
+        assert!(hn > 0.0 && hn2 > 0.0);
+        assert!(
+            hn - hs > 0.5,
+            "dense ({hn}) vs spiky ({hs}) IMF1 entropy should differ clearly"
+        );
+    }
+
+    #[test]
+    fn short_windows_do_not_panic() {
+        for n in 0..10 {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let _ = imf_entropies(&xs, &EmdConfig::default());
+        }
+    }
+}

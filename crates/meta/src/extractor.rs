@@ -1,0 +1,453 @@
+//! Raw fingerprint extraction: window → vector of meta-information values.
+//!
+//! The [`FingerprintExtractor`] captures a *configuration* — which behaviour
+//! sources and which meta-information functions participate — and turns any
+//! window of labeled observations into a fixed-layout vector. The layout is
+//! described by the accompanying [`FingerprintSchema`], which the FiCSUM
+//! core uses to normalise, weight and compare fingerprints dimension by
+//! dimension.
+//!
+//! Restricting the configuration yields the paper's ablation variants:
+//! features-only (U-MI), supervised-sources-only (S-MI), the error-rate
+//! single feature (ER), and single-function variants (Table V).
+
+use ficsum_classifiers::Classifier;
+use ficsum_stream::LabeledObservation;
+
+use crate::autocorr::{autocorrelation, partial_autocorrelation};
+use crate::emd::{imf_entropies, EmdConfig};
+use crate::functions::{kurtosis, mean, skewness, std_dev, turning_point_rate, MetaFunction};
+use crate::mutual_info::lagged_mutual_information;
+use crate::sources::{behaviour_sources, source_sequence, SourceKind};
+
+/// Which behaviour sources participate in the fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceSelection {
+    /// The `d` input-feature sources (unsupervised).
+    pub features: bool,
+    /// Ground-truth label sequence.
+    pub labels: bool,
+    /// Predicted label sequence.
+    pub predictions: bool,
+    /// Error-indicator sequence.
+    pub errors: bool,
+    /// Error-distance sequence.
+    pub error_distances: bool,
+}
+
+impl SourceSelection {
+    /// Everything — the full FiCSUM configuration.
+    pub fn all() -> Self {
+        Self { features: true, labels: true, predictions: true, errors: true, error_distances: true }
+    }
+
+    /// Only the unsupervised feature sources (the paper's U-MI variant).
+    pub fn unsupervised_only() -> Self {
+        Self {
+            features: true,
+            labels: false,
+            predictions: false,
+            errors: false,
+            error_distances: false,
+        }
+    }
+
+    /// Only the supervised sources (the paper's S-MI variant).
+    pub fn supervised_only() -> Self {
+        Self {
+            features: false,
+            labels: true,
+            predictions: true,
+            errors: true,
+            error_distances: true,
+        }
+    }
+
+    /// Only the error sequence (basis of the ER variant).
+    pub fn errors_only() -> Self {
+        Self {
+            features: false,
+            labels: false,
+            predictions: false,
+            errors: true,
+            error_distances: false,
+        }
+    }
+
+    fn includes(&self, kind: SourceKind) -> bool {
+        match kind {
+            SourceKind::Feature(_) => self.features,
+            SourceKind::Labels => self.labels,
+            SourceKind::Predictions => self.predictions,
+            SourceKind::Errors => self.errors,
+            SourceKind::ErrorDistances => self.error_distances,
+        }
+    }
+}
+
+/// One dimension of the fingerprint: a (behaviour source, function) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimensionInfo {
+    /// The behaviour source the value was computed from.
+    pub source: SourceKind,
+    /// The meta-information function applied.
+    pub function: MetaFunction,
+}
+
+impl DimensionInfo {
+    /// Whether this dimension depends on labels or classifier output. Such
+    /// dimensions are reset by fingerprint-plasticity events and excluded
+    /// from purely unsupervised variants.
+    pub fn is_supervised(&self) -> bool {
+        self.source.is_supervised() || self.function == MetaFunction::FeatureImportance
+    }
+
+    /// Whether this dimension depends on the *classifier's* output (not just
+    /// labels). These are the dimensions fingerprint plasticity resets when
+    /// the classifier changes significantly (Section IV): predicted labels,
+    /// errors, error distances and feature importance — but not the
+    /// ground-truth label source.
+    pub fn depends_on_classifier(&self) -> bool {
+        matches!(
+            self.source,
+            SourceKind::Predictions | SourceKind::Errors | SourceKind::ErrorDistances
+        ) || self.function == MetaFunction::FeatureImportance
+    }
+
+    /// `source.function` display name.
+    pub fn name(&self) -> String {
+        format!("{}.{}", self.source.name(), self.function.name())
+    }
+}
+
+/// The fixed layout of a fingerprint vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintSchema {
+    /// One entry per fingerprint dimension, in vector order.
+    pub dims: Vec<DimensionInfo>,
+}
+
+impl FingerprintSchema {
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// Extracts raw fingerprint vectors from windows of labeled observations.
+#[derive(Debug, Clone)]
+pub struct FingerprintExtractor {
+    n_features: usize,
+    functions: Vec<MetaFunction>,
+    sources: SourceSelection,
+    include_feature_importance: bool,
+    emd: EmdConfig,
+    mi_bins: usize,
+    schema: FingerprintSchema,
+}
+
+impl FingerprintExtractor {
+    /// The full FiCSUM configuration: all sources, all 13 functions.
+    pub fn full(n_features: usize) -> Self {
+        Self::new(
+            n_features,
+            MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+            SourceSelection::all(),
+            true,
+        )
+    }
+
+    /// Custom configuration. `functions` are the sequence statistics applied
+    /// to every selected source; `include_feature_importance` adds one
+    /// classifier-importance dimension per feature source (requires
+    /// `sources.features`).
+    pub fn new(
+        n_features: usize,
+        functions: Vec<MetaFunction>,
+        sources: SourceSelection,
+        include_feature_importance: bool,
+    ) -> Self {
+        assert!(n_features > 0);
+        let functions: Vec<MetaFunction> = functions
+            .into_iter()
+            .filter(|f| *f != MetaFunction::FeatureImportance)
+            .collect();
+        let include_fi = include_feature_importance && sources.features;
+        let mut dims = Vec::new();
+        for kind in behaviour_sources(n_features) {
+            if !sources.includes(kind) {
+                continue;
+            }
+            for &function in &functions {
+                dims.push(DimensionInfo { source: kind, function });
+            }
+        }
+        if include_fi {
+            for j in 0..n_features {
+                dims.push(DimensionInfo {
+                    source: SourceKind::Feature(j),
+                    function: MetaFunction::FeatureImportance,
+                });
+            }
+        }
+        assert!(!dims.is_empty(), "extractor configuration selects no dimensions");
+        Self {
+            n_features,
+            functions,
+            sources,
+            include_feature_importance: include_fi,
+            emd: EmdConfig::default(),
+            mi_bins: 8,
+            schema: FingerprintSchema { dims },
+        }
+    }
+
+    /// The paper's ER variant: the error-rate meta-feature alone.
+    pub fn error_rate_only(n_features: usize) -> Self {
+        Self::new(
+            n_features,
+            vec![MetaFunction::Mean],
+            SourceSelection::errors_only(),
+            false,
+        )
+    }
+
+    /// A single-function variant for the Table V comparison. For
+    /// [`MetaFunction::FeatureImportance`] the fingerprint is the importance
+    /// channel alone; other functions apply to every behaviour source.
+    pub fn single_function(n_features: usize, function: MetaFunction) -> Self {
+        if function == MetaFunction::FeatureImportance {
+            Self::new(n_features, vec![MetaFunction::Mean], SourceSelection::all(), true)
+                .restrict_to_fi()
+        } else {
+            Self::new(n_features, vec![function], SourceSelection::all(), false)
+        }
+    }
+
+    fn restrict_to_fi(mut self) -> Self {
+        self.schema.dims.retain(|d| d.function == MetaFunction::FeatureImportance);
+        self.functions.clear();
+        self
+    }
+
+    /// The vector layout produced by [`FingerprintExtractor::extract`].
+    pub fn schema(&self) -> &FingerprintSchema {
+        &self.schema
+    }
+
+    /// Number of input features the extractor was built for.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Which sources this extractor consumes.
+    pub fn sources(&self) -> SourceSelection {
+        self.sources
+    }
+
+    fn eval_function(&self, function: MetaFunction, seq: &[f64], imf: &Option<(f64, f64)>) -> f64 {
+        match function {
+            MetaFunction::Mean => mean(seq),
+            MetaFunction::StdDev => std_dev(seq),
+            MetaFunction::Skew => skewness(seq),
+            MetaFunction::Kurtosis => kurtosis(seq),
+            MetaFunction::Acf1 => autocorrelation(seq, 1),
+            MetaFunction::Acf2 => autocorrelation(seq, 2),
+            MetaFunction::Pacf1 => partial_autocorrelation(seq, 1),
+            MetaFunction::Pacf2 => partial_autocorrelation(seq, 2),
+            MetaFunction::MutualInformation => lagged_mutual_information(seq, 1, self.mi_bins),
+            MetaFunction::TurningPointRate => turning_point_rate(seq),
+            MetaFunction::ImfEntropy1 => imf.map_or(0.0, |(a, _)| a),
+            MetaFunction::ImfEntropy2 => imf.map_or(0.0, |(_, b)| b),
+            MetaFunction::FeatureImportance => unreachable!("handled separately"),
+        }
+    }
+
+    /// Computes the raw fingerprint of `window`. `classifier` supplies
+    /// feature-importance contributions; pass the classifier the predictions
+    /// in `window` were made with. When `None`, importance dims are 0.
+    pub fn extract(
+        &self,
+        window: &[LabeledObservation],
+        classifier: Option<&dyn Classifier>,
+    ) -> Vec<f64> {
+        let needs_emd = self
+            .functions
+            .iter()
+            .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
+        let mut out = Vec::with_capacity(self.schema.len());
+        for kind in behaviour_sources(self.n_features) {
+            if !self.sources.includes(kind) {
+                continue;
+            }
+            if self.functions.is_empty() {
+                continue;
+            }
+            let seq = source_sequence(window, kind);
+            let imf = if needs_emd { Some(imf_entropies(&seq, &self.emd)) } else { None };
+            for &function in &self.functions {
+                out.push(self.eval_function(function, &seq, &imf));
+            }
+        }
+        if self.include_feature_importance {
+            let mut importance = vec![0.0; self.n_features];
+            if let Some(clf) = classifier {
+                let mut counted = 0usize;
+                for o in window {
+                    if let Some(contrib) = clf.feature_contributions(o.features()) {
+                        for (acc, c) in importance.iter_mut().zip(contrib) {
+                            *acc += c.abs();
+                        }
+                        counted += 1;
+                    }
+                }
+                if counted > 0 {
+                    for acc in &mut importance {
+                        *acc /= counted as f64;
+                    }
+                }
+            }
+            out.extend(importance);
+        }
+        debug_assert_eq!(out.len(), self.schema.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_classifiers::HoeffdingTree;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn window(rng: &mut StdRng, n: usize, d: usize) -> Vec<LabeledObservation> {
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
+                let y = rng.random_range(0..2);
+                let l = rng.random_range(0..2);
+                LabeledObservation::new(x, y, l)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_schema_has_expected_size() {
+        // 12 sequence functions x (d + 4) sources + d importance dims.
+        let ex = FingerprintExtractor::full(3);
+        assert_eq!(ex.schema().len(), 12 * 7 + 3);
+    }
+
+    #[test]
+    fn extract_matches_schema_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ex = FingerprintExtractor::full(3);
+        let w = window(&mut rng, 75, 3);
+        let fp = ex.extract(&w, None);
+        assert_eq!(fp.len(), ex.schema().len());
+        assert!(fp.iter().all(|v| v.is_finite()), "{fp:?}");
+    }
+
+    #[test]
+    fn er_variant_is_error_rate() {
+        let ex = FingerprintExtractor::error_rate_only(5);
+        assert_eq!(ex.schema().len(), 1);
+        let w = vec![
+            LabeledObservation::new(vec![0.0; 5], 0, 0),
+            LabeledObservation::new(vec![0.0; 5], 0, 1),
+            LabeledObservation::new(vec![0.0; 5], 1, 1),
+            LabeledObservation::new(vec![0.0; 5], 1, 0),
+        ];
+        let fp = ex.extract(&w, None);
+        assert!((fp[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn umi_variant_has_no_supervised_dims() {
+        let ex = FingerprintExtractor::new(
+            4,
+            MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+            SourceSelection::unsupervised_only(),
+            false,
+        );
+        assert!(ex.schema().dims.iter().all(|d| !d.is_supervised()));
+        assert_eq!(ex.schema().len(), 12 * 4);
+    }
+
+    #[test]
+    fn smi_variant_has_only_supervised_dims() {
+        let ex = FingerprintExtractor::new(
+            4,
+            MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+            SourceSelection::supervised_only(),
+            false,
+        );
+        assert!(ex.schema().dims.iter().all(|d| d.is_supervised()));
+        assert_eq!(ex.schema().len(), 12 * 4);
+    }
+
+    #[test]
+    fn single_function_variants() {
+        let ex = FingerprintExtractor::single_function(3, MetaFunction::Skew);
+        assert_eq!(ex.schema().len(), 7);
+        assert!(ex.schema().dims.iter().all(|d| d.function == MetaFunction::Skew));
+
+        let fi = FingerprintExtractor::single_function(3, MetaFunction::FeatureImportance);
+        assert_eq!(fi.schema().len(), 3);
+        assert!(fi
+            .schema()
+            .dims
+            .iter()
+            .all(|d| d.function == MetaFunction::FeatureImportance));
+    }
+
+    #[test]
+    fn feature_importance_uses_classifier() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tree = HoeffdingTree::new(2, 2);
+        for _ in 0..4000 {
+            let y = rng.random_range(0..2usize);
+            let x0 = if y == 0 { rng.random::<f64>() } else { 2.0 + rng.random::<f64>() };
+            tree.train(&[x0, rng.random()], y);
+        }
+        let ex = FingerprintExtractor::single_function(2, MetaFunction::FeatureImportance);
+        let w = window(&mut rng, 50, 2);
+        let with = ex.extract(&w, Some(&tree));
+        let without = ex.extract(&w, None);
+        assert_eq!(without, vec![0.0, 0.0]);
+        assert!(with[0] > with[1], "x0 should dominate importance: {with:?}");
+    }
+
+    #[test]
+    fn different_concepts_produce_different_fingerprints() {
+        let ex = FingerprintExtractor::full(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let low: Vec<LabeledObservation> = (0..75)
+            .map(|_| LabeledObservation::new(vec![rng.random::<f64>()], 0, 0))
+            .collect();
+        let high: Vec<LabeledObservation> = (0..75)
+            .map(|_| LabeledObservation::new(vec![rng.random::<f64>() + 10.0], 0, 0))
+            .collect();
+        let f1 = ex.extract(&low, None);
+        let f2 = ex.extract(&high, None);
+        let dist: f64 = f1.iter().zip(&f2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 5.0, "fingerprints should differ, L1={dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no dimensions")]
+    fn empty_configuration_panics() {
+        let _ = FingerprintExtractor::new(
+            2,
+            vec![],
+            SourceSelection::unsupervised_only(),
+            false,
+        );
+    }
+}

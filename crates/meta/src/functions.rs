@@ -1,0 +1,214 @@
+//! Moment statistics, turning-point rate and the [`MetaFunction`] catalogue.
+
+/// The 13 meta-information functions of Table I.
+///
+/// The first twelve are sequence statistics applicable to every behaviour
+/// source; [`MetaFunction::FeatureImportance`] is the classifier-derived
+/// per-feature channel (the paper's Shapley value), which only applies to
+/// feature sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaFunction {
+    /// Distribution centre.
+    Mean,
+    /// Distribution variance.
+    StdDev,
+    /// Distribution asymmetry.
+    Skew,
+    /// Distribution tails.
+    Kurtosis,
+    /// Temporal dependence, lag 1.
+    Acf1,
+    /// Temporal dependence, lag 2.
+    Acf2,
+    /// Partial temporal dependence, lag 1.
+    Pacf1,
+    /// Partial temporal dependence, lag 2.
+    Pacf2,
+    /// Lag-1 self mutual information.
+    MutualInformation,
+    /// Rate of oscillation.
+    TurningPointRate,
+    /// Entropy of the first intrinsic mode function.
+    ImfEntropy1,
+    /// Entropy of the second intrinsic mode function.
+    ImfEntropy2,
+    /// Classifier feature importance (Shapley stand-in).
+    FeatureImportance,
+}
+
+impl MetaFunction {
+    /// The twelve sequence statistics (everything but feature importance).
+    pub const SEQUENCE_FUNCTIONS: [MetaFunction; 12] = [
+        MetaFunction::Mean,
+        MetaFunction::StdDev,
+        MetaFunction::Skew,
+        MetaFunction::Kurtosis,
+        MetaFunction::Acf1,
+        MetaFunction::Acf2,
+        MetaFunction::Pacf1,
+        MetaFunction::Pacf2,
+        MetaFunction::MutualInformation,
+        MetaFunction::TurningPointRate,
+        MetaFunction::ImfEntropy1,
+        MetaFunction::ImfEntropy2,
+    ];
+
+    /// All thirteen functions.
+    pub const ALL: [MetaFunction; 13] = [
+        MetaFunction::Mean,
+        MetaFunction::StdDev,
+        MetaFunction::Skew,
+        MetaFunction::Kurtosis,
+        MetaFunction::Acf1,
+        MetaFunction::Acf2,
+        MetaFunction::Pacf1,
+        MetaFunction::Pacf2,
+        MetaFunction::MutualInformation,
+        MetaFunction::TurningPointRate,
+        MetaFunction::ImfEntropy1,
+        MetaFunction::ImfEntropy2,
+        MetaFunction::FeatureImportance,
+    ];
+
+    /// Stable short name (used in schema descriptors and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaFunction::Mean => "mean",
+            MetaFunction::StdDev => "std",
+            MetaFunction::Skew => "skew",
+            MetaFunction::Kurtosis => "kurtosis",
+            MetaFunction::Acf1 => "acf1",
+            MetaFunction::Acf2 => "acf2",
+            MetaFunction::Pacf1 => "pacf1",
+            MetaFunction::Pacf2 => "pacf2",
+            MetaFunction::MutualInformation => "mi",
+            MetaFunction::TurningPointRate => "tpr",
+            MetaFunction::ImfEntropy1 => "imf1",
+            MetaFunction::ImfEntropy2 => "imf2",
+            MetaFunction::FeatureImportance => "fi",
+        }
+    }
+}
+
+/// Arithmetic mean; 0 for an empty sequence.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Central moment of order `k`.
+fn central_moment(xs: &[f64], m: f64, k: u32) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| (x - m).powi(k as i32)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for sequences shorter than 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    central_moment(xs, mean(xs), 2).sqrt()
+}
+
+/// Moment skewness `m3 / m2^(3/2)`; 0 for degenerate sequences.
+pub fn skewness(xs: &[f64]) -> f64 {
+    if xs.len() < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = central_moment(xs, m, 2);
+    if m2 <= f64::EPSILON {
+        return 0.0;
+    }
+    central_moment(xs, m, 3) / m2.powf(1.5)
+}
+
+/// Excess kurtosis `m4 / m2^2 - 3`; 0 for degenerate sequences.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = central_moment(xs, m, 2);
+    if m2 <= f64::EPSILON {
+        return 0.0;
+    }
+    central_moment(xs, m, 4) / (m2 * m2) - 3.0
+}
+
+/// Proportion of interior points that are local extrema (sign change of the
+/// first difference). For an i.i.d. sequence the expectation is 2/3.
+pub fn turning_point_rate(xs: &[f64]) -> f64 {
+    if xs.len() < 3 {
+        return 0.0;
+    }
+    let mut turns = 0usize;
+    for w in xs.windows(3) {
+        let (a, b, c) = (w[0], w[1], w[2]);
+        if (b - a) * (c - b) < 0.0 {
+            turns += 1;
+        }
+    }
+    turns as f64 / (xs.len() - 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_sign_tracks_asymmetry() {
+        let right = [1.0, 1.0, 1.0, 1.0, 10.0];
+        let left = [10.0, 10.0, 10.0, 10.0, 1.0];
+        assert!(skewness(&right) > 0.5);
+        assert!(skewness(&left) < -0.5);
+        let symm = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&symm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative() {
+        // Uniform distribution has excess kurtosis -1.2.
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        assert!((kurtosis(&xs) + 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_sequences_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(skewness(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(kurtosis(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(turning_point_rate(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn turning_points_of_alternating_sequence() {
+        let xs = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        assert!((turning_point_rate(&xs) - 1.0).abs() < 1e-12);
+        let mono = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(turning_point_rate(&mono), 0.0);
+    }
+
+    #[test]
+    fn catalogue_is_consistent() {
+        assert_eq!(MetaFunction::ALL.len(), 13);
+        assert_eq!(MetaFunction::SEQUENCE_FUNCTIONS.len(), 12);
+        assert!(!MetaFunction::SEQUENCE_FUNCTIONS.contains(&MetaFunction::FeatureImportance));
+        let names: std::collections::HashSet<_> =
+            MetaFunction::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 13, "names must be unique");
+    }
+}

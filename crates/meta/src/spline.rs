@@ -1,0 +1,146 @@
+//! Natural cubic spline interpolation.
+//!
+//! Used by the empirical mode decomposition to build upper/lower envelopes
+//! through the local extrema of a signal. Knots are `(x, y)` pairs with
+//! strictly increasing `x`; the spline has zero second derivative at both
+//! ends (the "natural" boundary condition) and is evaluated with clamped
+//! linear extrapolation outside the knot range.
+
+/// A natural cubic spline through a set of knots.
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline. Requires at least 2 knots with strictly
+    /// increasing `x`; returns `None` otherwise.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        let n = xs.len();
+        if n < 2 || n != ys.len() {
+            return None;
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return None;
+        }
+        // Solve the tridiagonal system for second derivatives (Thomas
+        // algorithm). Natural boundary: m[0] = m[n-1] = 0.
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            let k = n - 2; // interior unknowns
+            let mut a = vec![0.0; k]; // sub-diagonal
+            let mut b = vec![0.0; k]; // diagonal
+            let mut c = vec![0.0; k]; // super-diagonal
+            let mut d = vec![0.0; k]; // rhs
+            for i in 0..k {
+                let h0 = xs[i + 1] - xs[i];
+                let h1 = xs[i + 2] - xs[i + 1];
+                a[i] = h0;
+                b[i] = 2.0 * (h0 + h1);
+                c[i] = h1;
+                d[i] = 6.0 * ((ys[i + 2] - ys[i + 1]) / h1 - (ys[i + 1] - ys[i]) / h0);
+            }
+            // Forward elimination.
+            for i in 1..k {
+                let w = a[i] / b[i - 1];
+                b[i] -= w * c[i - 1];
+                d[i] -= w * d[i - 1];
+            }
+            // Back substitution.
+            m[k] = d[k - 1] / b[k - 1];
+            for i in (0..k - 1).rev() {
+                m[i + 1] = (d[i] - c[i] * m[i + 2]) / b[i];
+            }
+        }
+        Some(Self { xs: xs.to_vec(), ys: ys.to_vec(), m })
+    }
+
+    /// Evaluates the spline at `x`. Outside the knot range the boundary
+    /// value is extended (constant extrapolation keeps EMD envelopes sane).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the containing interval.
+        let i = match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i - 1,
+        };
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = x - self.xs[i];
+        let u = self.xs[i + 1] - x;
+        (self.m[i] * u * u * u + self.m[i + 1] * t * t * t) / (6.0 * h)
+            + (self.ys[i] / h - self.m[i] * h / 6.0) * u
+            + (self.ys[i + 1] / h - self.m[i + 1] * h / 6.0) * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys = [1.0, -1.0, 3.0, 0.5];
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((s.eval(*x) - y).abs() < 1e-9, "knot ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn two_knots_is_linear() {
+        let s = CubicSpline::fit(&[0.0, 2.0], &[0.0, 4.0]).unwrap();
+        assert!((s.eval(1.0) - 2.0).abs() < 1e-12);
+        assert!((s.eval(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reproduces_smooth_function_between_knots() {
+        // Sample sin on a dense grid; spline error should be small.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for i in 0..190 {
+            let x = i as f64 * 0.05;
+            assert!(
+                (s.eval(x) - x.sin()).abs() < 0.01,
+                "x={x} spline={} sin={}",
+                s.eval(x),
+                x.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_clamped() {
+        let s = CubicSpline::fit(&[0.0, 1.0, 2.0], &[5.0, 0.0, 7.0]).unwrap();
+        assert_eq!(s.eval(-10.0), 5.0);
+        assert_eq!(s.eval(10.0), 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CubicSpline::fit(&[0.0], &[1.0]).is_none());
+        assert!(CubicSpline::fit(&[0.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(CubicSpline::fit(&[0.0, 1.0], &[1.0]).is_none());
+        assert!(CubicSpline::fit(&[1.0, 0.5], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn natural_boundary_second_derivative_is_zero() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).cos()).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        assert_eq!(s.m[0], 0.0);
+        assert_eq!(s.m[9], 0.0);
+    }
+}

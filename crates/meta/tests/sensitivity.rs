@@ -1,0 +1,93 @@
+//! Meta-feature sensitivity suite: each function must respond to exactly
+//! the kind of behaviour it claims to capture (the unit-level version of
+//! the paper's Table V).
+
+use ficsum_meta::{
+    autocorrelation, imf_entropies, kurtosis, lagged_mutual_information, mean, skewness, std_dev,
+    turning_point_rate, EmdConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random()).collect()
+}
+
+fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prev = 0.5;
+    (0..n)
+        .map(|_| {
+            prev = phi * prev + (1.0 - phi) * rng.random::<f64>();
+            prev
+        })
+        .collect()
+}
+
+fn with_sine(base: &[f64], amp: f64, freq: f64) -> Vec<f64> {
+    base.iter().enumerate().map(|(i, &v)| v + amp * (freq * i as f64).sin()).collect()
+}
+
+#[test]
+fn mean_and_std_respond_to_distribution_shift() {
+    let a = uniform(200, 1);
+    let shifted: Vec<f64> = a.iter().map(|v| v + 0.5).collect();
+    let scaled: Vec<f64> = a.iter().map(|v| 0.5 + (v - 0.5) * 2.0).collect();
+    assert!((mean(&shifted) - mean(&a) - 0.5).abs() < 1e-9);
+    assert!(std_dev(&scaled) > 1.8 * std_dev(&a));
+    // ...but not to autocorrelation changes of the same marginal scale.
+    let smooth = ar1(0.9, 200, 2);
+    assert!((mean(&smooth) - 0.5).abs() < 0.15);
+}
+
+#[test]
+fn skew_and_kurtosis_respond_to_shape() {
+    let sym = uniform(500, 3);
+    let skewed: Vec<f64> = sym.iter().map(|v| v.powf(3.0)).collect();
+    assert!(skewness(&skewed) > skewness(&sym) + 0.5);
+    let heavy: Vec<f64> = sym
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % 50 == 0 { v + 5.0 } else { v })
+        .collect();
+    assert!(kurtosis(&heavy) > kurtosis(&sym) + 3.0);
+}
+
+#[test]
+fn autocorrelation_responds_to_temporal_structure_not_marginal() {
+    let iid = uniform(1000, 4);
+    let smooth = ar1(0.85, 1000, 5);
+    assert!(autocorrelation(&smooth, 1) > autocorrelation(&iid, 1) + 0.5);
+}
+
+#[test]
+fn mutual_information_detects_frequency_overlay() {
+    let base = uniform(600, 6);
+    let tonal = with_sine(&base, 0.6, 0.4);
+    let mi_base = lagged_mutual_information(&base, 1, 8);
+    let mi_tonal = lagged_mutual_information(&tonal, 1, 8);
+    assert!(mi_tonal > mi_base + 0.1, "base {mi_base} tonal {mi_tonal}");
+}
+
+#[test]
+fn turning_point_rate_separates_smooth_from_oscillating() {
+    let smooth = ar1(0.9, 500, 7);
+    let base = uniform(500, 8);
+    let fast = with_sine(&base, 1.5, 2.5);
+    let tpr_smooth = turning_point_rate(&smooth);
+    let tpr_fast = turning_point_rate(&fast);
+    assert!(tpr_smooth < 2.0 / 3.0 - 0.05, "smooth {tpr_smooth}");
+    assert!(tpr_fast > tpr_smooth + 0.1, "fast {tpr_fast}");
+}
+
+#[test]
+fn imf_entropies_change_with_timescale_structure() {
+    let noise = uniform(256, 9);
+    let layered = with_sine(&with_sine(&noise, 0.8, 0.05), 0.4, 1.2);
+    let (n1, n2) = imf_entropies(&noise, &EmdConfig::default());
+    let (l1, l2) = imf_entropies(&layered, &EmdConfig::default());
+    assert!(n1 > 0.0 && l1 > 0.0);
+    // Layered signal distributes differently across the first two IMFs.
+    assert!(((n1 - l1).abs() + (n2 - l2).abs()) > 0.05);
+}

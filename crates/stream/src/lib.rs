@@ -1,0 +1,24 @@
+//! Data-stream foundations for the FiCSUM workspace.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! reproduction of *Fingerprinting Concepts in Data Streams with Supervised
+//! and Unsupervised Meta-Information* (ICDE 2021):
+//!
+//! * [`Observation`] / [`LabeledObservation`] — the `<X, y>` and `<X, y, l>`
+//!   tuples the paper operates on,
+//! * [`ConceptStream`] — a stream of observations annotated with the ground
+//!   truth concept identifier needed by the co-occurrence evaluation,
+//! * [`SlidingWindow`] and [`BufferedWindow`] — the *active* window `A` and
+//!   the delayed *buffer* window `B` of Algorithm 1,
+//! * online statistics ([`RunningStats`], [`MinMaxScaler`]) used by the
+//!   fingerprinting and weighting machinery.
+
+pub mod observation;
+pub mod stats;
+pub mod stream;
+pub mod window;
+
+pub use observation::{LabeledObservation, Observation};
+pub use stats::{EwStats, MinMaxScaler, RunningStats};
+pub use stream::{ConceptStream, StreamSource, VecStream};
+pub use window::{BufferedWindow, SlidingWindow};

@@ -1,0 +1,105 @@
+//! The observation tuples flowing through a stream.
+
+use serde::{Deserialize, Serialize};
+
+/// A single stream observation `<X, y>`: a dense feature vector paired with a
+/// discrete class label.
+///
+/// The paper assumes labels arrive with no delay (Section II), so every
+/// observation carries its ground-truth label. The optional
+/// [`concept`](Observation::concept) annotation identifies which ground-truth
+/// concept generated the observation; it is never shown to a learner and only
+/// consumed by the C-F1 evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Dense feature vector `X`.
+    pub features: Vec<f64>,
+    /// Ground-truth class label `y`.
+    pub label: usize,
+    /// Ground-truth concept identifier, used only for evaluation.
+    pub concept: usize,
+}
+
+impl Observation {
+    /// Creates an observation without a concept annotation (concept 0).
+    pub fn new(features: Vec<f64>, label: usize) -> Self {
+        Self { features, label, concept: 0 }
+    }
+
+    /// Creates an observation annotated with its generating concept.
+    pub fn with_concept(features: Vec<f64>, label: usize, concept: usize) -> Self {
+        Self { features, label, concept }
+    }
+
+    /// Number of input features `d`.
+    pub fn dims(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Attaches a prediction `l`, producing the `<X, y, l>` triple of
+    /// Definition 2.
+    pub fn labeled(self, prediction: usize) -> LabeledObservation {
+        LabeledObservation { observation: self, prediction }
+    }
+}
+
+/// A labeled observation `<X, y, l>`: an observation together with the label
+/// `l` assigned by an incremental classifier (Definition 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledObservation {
+    /// The underlying `<X, y>` pair.
+    pub observation: Observation,
+    /// Label `l` predicted by the classifier associated with the current
+    /// concept representation.
+    pub prediction: usize,
+}
+
+impl LabeledObservation {
+    /// Convenience constructor.
+    pub fn new(features: Vec<f64>, label: usize, prediction: usize) -> Self {
+        Observation::new(features, label).labeled(prediction)
+    }
+
+    /// Feature vector `X`.
+    pub fn features(&self) -> &[f64] {
+        &self.observation.features
+    }
+
+    /// Ground-truth label `y`.
+    pub fn label(&self) -> usize {
+        self.observation.label
+    }
+
+    /// Whether the classifier got this observation wrong (`l != y`).
+    pub fn is_error(&self) -> bool {
+        self.prediction != self.observation.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_roundtrip() {
+        let o = Observation::with_concept(vec![1.0, 2.0], 1, 3);
+        assert_eq!(o.dims(), 2);
+        assert_eq!(o.concept, 3);
+        let l = o.clone().labeled(0);
+        assert!(l.is_error());
+        assert_eq!(l.label(), 1);
+        assert_eq!(l.features(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn correct_prediction_is_not_error() {
+        let l = LabeledObservation::new(vec![0.5], 2, 2);
+        assert!(!l.is_error());
+    }
+
+    #[test]
+    fn debug_format_includes_concept() {
+        let o = Observation::with_concept(vec![1.0], 0, 1);
+        assert!(format!("{o:?}").contains("concept: 1"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Stream sources.
+//!
+//! A [`StreamSource`] yields [`Observation`]s one at a time. Generators in
+//! `ficsum-synth` implement this trait; evaluation code consumes it.
+
+use crate::observation::Observation;
+
+/// A source of stream observations.
+///
+/// Implementations are pull-based: `next_observation` returns `None` when the
+/// stream is exhausted. Finite streams should also report their length via
+/// [`StreamSource::remaining_hint`] so harness code can pre-allocate.
+pub trait StreamSource {
+    /// Number of input features `d` of every observation produced.
+    fn dims(&self) -> usize;
+
+    /// Number of distinct class labels.
+    fn n_classes(&self) -> usize;
+
+    /// Pulls the next observation, or `None` when exhausted.
+    fn next_observation(&mut self) -> Option<Observation>;
+
+    /// Lower bound on remaining observations, when known.
+    fn remaining_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Drains the whole stream into a vector.
+    fn collect_all(&mut self) -> Vec<Observation>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(self.remaining_hint().unwrap_or(0));
+        while let Some(o) = self.next_observation() {
+            out.push(o);
+        }
+        out
+    }
+}
+
+/// Adapter turning any `StreamSource` into an [`Iterator`].
+pub struct StreamIter<S>(pub S);
+
+impl<S: StreamSource> Iterator for StreamIter<S> {
+    type Item = Observation;
+
+    fn next(&mut self) -> Option<Observation> {
+        self.0.next_observation()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.0.remaining_hint().unwrap_or(0), None)
+    }
+}
+
+/// A finite, in-memory stream backed by a vector of observations.
+///
+/// Used for composed recurring-concept streams and in tests.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    data: Vec<Observation>,
+    pos: usize,
+    dims: usize,
+    n_classes: usize,
+}
+
+impl VecStream {
+    /// Wraps a vector of observations. `dims` and `n_classes` are inferred
+    /// from the data; an empty vector produces an empty zero-dim stream.
+    pub fn new(data: Vec<Observation>) -> Self {
+        let dims = data.first().map_or(0, Observation::dims);
+        let n_classes = data.iter().map(|o| o.label + 1).max().unwrap_or(0);
+        Self { data, pos: 0, dims, n_classes }
+    }
+
+    /// Wraps a vector with an explicit class count (useful when some labels
+    /// do not occur in this particular segment).
+    pub fn with_classes(data: Vec<Observation>, n_classes: usize) -> Self {
+        let dims = data.first().map_or(0, Observation::dims);
+        Self { data, pos: 0, dims, n_classes }
+    }
+
+    /// Total number of observations (consumed or not).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the backing vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only access to the backing observations.
+    pub fn observations(&self) -> &[Observation] {
+        &self.data
+    }
+
+    /// Rewinds to the beginning.
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl StreamSource for VecStream {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn next_observation(&mut self) -> Option<Observation> {
+        let o = self.data.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(o)
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.data.len() - self.pos)
+    }
+}
+
+/// A stream annotated with ground-truth concept segmentation — the interface
+/// the evaluation layer uses to compute C-F1.
+///
+/// `ConceptStream` is intentionally just a marker over `StreamSource`: the
+/// concept id travels inside each [`Observation`], so any source whose
+/// observations carry meaningful `concept` fields qualifies.
+pub trait ConceptStream: StreamSource {
+    /// Number of distinct ground-truth concepts in the stream.
+    fn n_concepts(&self) -> usize;
+}
+
+impl ConceptStream for VecStream {
+    fn n_concepts(&self) -> usize {
+        self.data.iter().map(|o| o.concept + 1).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(c: usize, y: usize) -> Observation {
+        Observation::with_concept(vec![c as f64, 1.0], y, c)
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let mut s = VecStream::new(vec![obs(0, 0), obs(1, 1), obs(2, 0)]);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.n_concepts(), 3);
+        assert_eq!(s.remaining_hint(), Some(3));
+        assert_eq!(s.next_observation().unwrap().concept, 0);
+        assert_eq!(s.remaining_hint(), Some(2));
+        let rest = s.collect_all();
+        assert_eq!(rest.len(), 2);
+        assert!(s.next_observation().is_none());
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let mut s = VecStream::new(vec![obs(0, 0)]);
+        assert!(s.next_observation().is_some());
+        assert!(s.next_observation().is_none());
+        s.reset();
+        assert!(s.next_observation().is_some());
+    }
+
+    #[test]
+    fn iterator_adapter() {
+        let s = VecStream::new(vec![obs(0, 0), obs(0, 1)]);
+        let labels: Vec<usize> = StreamIter(s).map(|o| o.label).collect();
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = VecStream::new(vec![]);
+        assert_eq!(s.dims(), 0);
+        assert!(s.is_empty());
+        assert!(s.next_observation().is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Concept generators: a sampler/labeller pair (or a joint generator)
+//! producing observations from one stationary distribution.
+
+use ficsum_stream::Observation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::labeller::Labeller;
+use crate::sampler::FeatureSampler;
+
+/// A generator of observations from a single stationary concept.
+pub trait ConceptGenerator: Send {
+    /// Feature dimensionality.
+    fn dims(&self) -> usize;
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+    /// Draws the next observation (concept annotation left at 0; the
+    /// recurring-stream composer sets it).
+    fn generate(&mut self) -> Observation;
+    /// Called at segment boundaries (resets temporal state, not the RNG).
+    fn restart_segment(&mut self) {}
+}
+
+/// The standard concept shape: features from a sampler, labels from a
+/// labeller, with optional label noise.
+pub struct LabelledConcept<S, L> {
+    sampler: S,
+    labeller: L,
+    label_noise: f64,
+    rng: StdRng,
+}
+
+impl<S: FeatureSampler, L: Labeller> LabelledConcept<S, L> {
+    /// Couples `sampler` and `labeller`; `label_noise` is the probability of
+    /// replacing the true label with a uniformly random one.
+    pub fn new(sampler: S, labeller: L, label_noise: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&label_noise));
+        Self { sampler, labeller, label_noise, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl<S: FeatureSampler, L: Labeller> ConceptGenerator for LabelledConcept<S, L> {
+    fn dims(&self) -> usize {
+        self.sampler.dims()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.labeller.n_classes()
+    }
+
+    fn generate(&mut self) -> Observation {
+        let x = self.sampler.sample();
+        let mut y = self.labeller.label(&x);
+        if self.label_noise > 0.0 && self.rng.random::<f64>() < self.label_noise {
+            y = self.rng.random_range(0..self.labeller.n_classes());
+        }
+        Observation::new(x, y)
+    }
+
+    fn restart_segment(&mut self) {
+        self.sampler.restart_segment();
+    }
+}
+
+/// The radial-basis-function generator (RBF): features and labels drawn
+/// jointly from a mixture of Gaussian "centroids", each owning a class.
+///
+/// Reseeding the centroid layout is the concept-drift mechanism of the RBF
+/// dataset: the labelling function (and the feature density) changes with
+/// the centroids.
+pub struct RbfConcept {
+    centroids: Vec<(Vec<f64>, usize, f64, f64)>, // (centre, class, radius, weight)
+    cumulative: Vec<f64>,
+    dims: usize,
+    n_classes: usize,
+    rng: StdRng,
+}
+
+impl RbfConcept {
+    /// `n_centroids` Gaussian blobs over `dims` features and `n_classes`
+    /// classes; `concept_seed` fixes the layout, `sample_seed` the draws.
+    pub fn new(
+        dims: usize,
+        n_classes: usize,
+        n_centroids: usize,
+        concept_seed: u64,
+        sample_seed: u64,
+    ) -> Self {
+        assert!(n_centroids >= n_classes && n_classes >= 2);
+        let mut layout_rng = StdRng::seed_from_u64(concept_seed);
+        let centroids: Vec<(Vec<f64>, usize, f64, f64)> = (0..n_centroids)
+            .map(|i| {
+                let centre: Vec<f64> = (0..dims).map(|_| layout_rng.random()).collect();
+                // Assign classes round-robin first so each class exists.
+                let class = if i < n_classes { i } else { layout_rng.random_range(0..n_classes) };
+                let radius = layout_rng.random_range(0.02..0.12);
+                let weight = layout_rng.random_range(0.5..1.5);
+                (centre, class, radius, weight)
+            })
+            .collect();
+        let total: f64 = centroids.iter().map(|c| c.3).sum();
+        let mut acc = 0.0;
+        let cumulative = centroids
+            .iter()
+            .map(|c| {
+                acc += c.3 / total;
+                acc
+            })
+            .collect();
+        Self { centroids, cumulative, dims, n_classes, rng: StdRng::seed_from_u64(sample_seed) }
+    }
+
+    /// Approximate standard normal via the sum of 12 uniforms.
+    fn gauss(rng: &mut StdRng) -> f64 {
+        (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0
+    }
+}
+
+impl ConceptGenerator for RbfConcept {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn generate(&mut self) -> Observation {
+        let u: f64 = self.rng.random();
+        let idx = self.cumulative.iter().position(|&c| u <= c).unwrap_or(0);
+        let (centre, class, radius, _) = &self.centroids[idx];
+        let x: Vec<f64> =
+            centre.iter().map(|&c| c + Self::gauss(&mut self.rng) * radius).collect();
+        Observation::new(x, *class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeller::StaggerLabeller;
+    use crate::sampler::UniformSampler;
+
+    #[test]
+    fn labelled_concept_labels_match_labeller() {
+        let mut c = LabelledConcept::new(
+            UniformSampler::new(3, 1),
+            StaggerLabeller::new(0),
+            0.0,
+            2,
+        );
+        for _ in 0..200 {
+            let o = c.generate();
+            assert_eq!(o.label, StaggerLabeller::new(0).label(&o.features));
+        }
+    }
+
+    #[test]
+    fn label_noise_flips_some_labels() {
+        let mut clean =
+            LabelledConcept::new(UniformSampler::new(3, 5), StaggerLabeller::new(2), 0.0, 6);
+        let mut noisy =
+            LabelledConcept::new(UniformSampler::new(3, 5), StaggerLabeller::new(2), 0.3, 6);
+        let mut flips = 0;
+        for _ in 0..1000 {
+            let (a, b) = (clean.generate(), noisy.generate());
+            assert_eq!(a.features, b.features);
+            if a.label != b.label {
+                flips += 1;
+            }
+        }
+        assert!(flips > 50 && flips < 400, "flips {flips}");
+    }
+
+    #[test]
+    fn rbf_produces_all_classes_and_bounded_features() {
+        let mut rbf = RbfConcept::new(4, 3, 9, 42, 43);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let o = rbf.generate();
+            assert_eq!(o.dims(), 4);
+            seen.insert(o.label);
+            assert!(o.features.iter().all(|v| (-1.0..2.0).contains(v)), "{:?}", o.features);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn rbf_same_concept_seed_same_layout() {
+        let mut a = RbfConcept::new(3, 2, 6, 9, 100);
+        let mut b = RbfConcept::new(3, 2, 6, 9, 100);
+        for _ in 0..50 {
+            let (oa, ob) = (a.generate(), b.generate());
+            assert_eq!(oa.features, ob.features);
+            assert_eq!(oa.label, ob.label);
+        }
+    }
+
+    #[test]
+    fn rbf_different_concepts_have_different_densities() {
+        let mut a = RbfConcept::new(3, 2, 6, 1, 50);
+        let mut b = RbfConcept::new(3, 2, 6, 2, 50);
+        let mean = |c: &mut RbfConcept| -> Vec<f64> {
+            let mut acc = vec![0.0; 3];
+            for _ in 0..2000 {
+                for (s, v) in acc.iter_mut().zip(c.generate().features) {
+                    *s += v;
+                }
+            }
+            acc.into_iter().map(|s| s / 2000.0).collect()
+        };
+        let (ma, mb) = (mean(&mut a), mean(&mut b));
+        let dist: f64 = ma.iter().zip(&mb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(dist > 0.05, "layouts too similar: {ma:?} vs {mb:?}");
+    }
+}

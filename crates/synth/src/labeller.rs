@@ -1,0 +1,298 @@
+//! Labelling functions: deterministic maps from feature vectors to classes.
+//!
+//! A concept couples a feature *sampler* with a *labeller*. Changing the
+//! labeller between concepts drifts `p(y|X)`; changing the sampler drifts
+//! `p(X)`. The classic generators (STAGGER, random tree, hyperplane) are
+//! labellers over uniform features.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic labelling function with optional label noise applied by
+/// the caller.
+pub trait Labeller: Send + Sync {
+    /// Label for feature vector `x`.
+    fn label(&self, x: &[f64]) -> usize;
+    /// Number of classes the labeller produces.
+    fn n_classes(&self) -> usize;
+}
+
+/// The STAGGER boolean concepts (Schlimmer & Granger 1986).
+///
+/// Three categorical attributes — size, colour, shape — are encoded as
+/// features in `[0, 1)` and discretised into three levels each. The three
+/// classic concepts are:
+///
+/// 0. `size = small AND colour = red`
+/// 1. `colour = green OR shape = circle`
+/// 2. `size = medium OR size = large`
+#[derive(Debug, Clone, Copy)]
+pub struct StaggerLabeller {
+    /// Which of the three STAGGER rules to apply (0..3).
+    pub concept: usize,
+}
+
+impl StaggerLabeller {
+    /// Rule `concept % 3`.
+    pub fn new(concept: usize) -> Self {
+        Self { concept: concept % 3 }
+    }
+
+    fn level(v: f64) -> usize {
+        ((v * 3.0) as usize).min(2)
+    }
+}
+
+impl Labeller for StaggerLabeller {
+    fn label(&self, x: &[f64]) -> usize {
+        let size = Self::level(x[0]);
+        let colour = Self::level(x[1]);
+        let shape = Self::level(x[2]);
+        let positive = match self.concept {
+            0 => size == 0 && colour == 0,
+            1 => colour == 1 || shape == 0,
+            _ => size == 1 || size == 2,
+        };
+        positive as usize
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+}
+
+/// A random decision tree labeller (the RTREE generator).
+///
+/// A full binary tree of the configured depth with uniformly drawn split
+/// features/thresholds and uniformly drawn leaf classes, over features in
+/// `[0, 1)`. Reseeding produces a fresh labelling function — the concept
+/// drift mechanism of the RTREE datasets.
+#[derive(Debug, Clone)]
+pub struct RandomTreeLabeller {
+    splits: Vec<(usize, f64)>, // heap layout: node i has children 2i+1, 2i+2
+    leaves: Vec<usize>,
+    depth: usize,
+    n_classes: usize,
+}
+
+impl RandomTreeLabeller {
+    /// Random tree over `n_features` inputs, `n_classes` labels, given depth.
+    pub fn new(n_features: usize, n_classes: usize, depth: usize, seed: u64) -> Self {
+        Self::with_pool(n_features, n_features, n_classes, depth, seed)
+    }
+
+    /// Random tree whose splits only use a random subset of `pool`
+    /// *informative* features. Real classification datasets rarely spread
+    /// their signal across every input; restricting the pool keeps the
+    /// labelling learnable when `n_features` is large.
+    pub fn with_pool(
+        n_features: usize,
+        pool: usize,
+        n_classes: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_features > 0 && n_classes >= 2 && depth >= 1);
+        let pool = pool.clamp(1, n_features);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Choose the informative subset.
+        let mut all: Vec<usize> = (0..n_features).collect();
+        for i in (1..all.len()).rev() {
+            let j = rng.random_range(0..=i);
+            all.swap(i, j);
+        }
+        let informative = &all[..pool];
+        let n_internal = (1usize << depth) - 1;
+        let n_leaves = 1usize << depth;
+        let splits = (0..n_internal)
+            .map(|_| {
+                (informative[rng.random_range(0..pool)], rng.random_range(0.2..0.8))
+            })
+            .collect();
+        // Guarantee every class appears in some leaf so streams are
+        // class-balanced enough to learn.
+        let mut leaves: Vec<usize> = (0..n_leaves).map(|i| i % n_classes).collect();
+        for i in (1..n_leaves).rev() {
+            let j = rng.random_range(0..=i);
+            leaves.swap(i, j);
+        }
+        Self { splits, leaves, depth, n_classes }
+    }
+}
+
+impl Labeller for RandomTreeLabeller {
+    fn label(&self, x: &[f64]) -> usize {
+        let mut node = 0usize;
+        for _ in 0..self.depth {
+            let (f, t) = self.splits[node];
+            node = if x[f.min(x.len() - 1)] <= t { 2 * node + 1 } else { 2 * node + 2 };
+        }
+        self.leaves[node - self.splits.len()]
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// The rotating hyperplane labeller (HPLANE).
+///
+/// `y = 1` iff `sum_i w_i x_i >= threshold`, with weights drawn per concept.
+/// The threshold is set to the weighted midpoint so classes stay roughly
+/// balanced under uniform features.
+#[derive(Debug, Clone)]
+pub struct HyperplaneLabeller {
+    weights: Vec<f64>,
+    threshold: f64,
+}
+
+impl HyperplaneLabeller {
+    /// Random hyperplane over `n_features` uniform features.
+    pub fn new(n_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..n_features).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let threshold = weights.iter().sum::<f64>() * 0.5;
+        Self { weights, threshold }
+    }
+}
+
+impl Labeller for HyperplaneLabeller {
+    fn label(&self, x: &[f64]) -> usize {
+        let s: f64 = self.weights.iter().zip(x).map(|(w, v)| w * v).sum();
+        (s >= self.threshold) as usize
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+}
+
+/// A linear-threshold labeller with multiple classes, used by the real-world
+/// dataset stand-ins: a random projection of the features is binned into
+/// `n_classes` quantile-ish intervals.
+#[derive(Debug, Clone)]
+pub struct LinearThresholdLabeller {
+    weights: Vec<f64>,
+    n_classes: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl LinearThresholdLabeller {
+    /// Random projection labeller. The expected projection range under
+    /// uniform `[0,1)` features is used to place the class bins.
+    pub fn new(n_features: usize, n_classes: usize, seed: u64) -> Self {
+        assert!(n_classes >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..n_features).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let pos: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        let neg: f64 = weights.iter().filter(|w| **w < 0.0).sum();
+        Self { weights, n_classes, lo: neg, hi: pos }
+    }
+}
+
+impl Labeller for LinearThresholdLabeller {
+    fn label(&self, x: &[f64]) -> usize {
+        let s: f64 = self.weights.iter().zip(x).map(|(w, v)| w * v).sum();
+        let span = (self.hi - self.lo).max(1e-9);
+        let t = ((s - self.lo) / span).clamp(0.0, 1.0 - 1e-9);
+        (t * self.n_classes as f64) as usize
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stagger_rules() {
+        // size small (x0 < 1/3), colour red (x1 < 1/3)
+        let c0 = StaggerLabeller::new(0);
+        assert_eq!(c0.label(&[0.1, 0.1, 0.9]), 1);
+        assert_eq!(c0.label(&[0.9, 0.1, 0.9]), 0);
+        // colour green (middle third) OR shape circle (first third)
+        let c1 = StaggerLabeller::new(1);
+        assert_eq!(c1.label(&[0.9, 0.5, 0.9]), 1);
+        assert_eq!(c1.label(&[0.9, 0.9, 0.1]), 1);
+        assert_eq!(c1.label(&[0.9, 0.9, 0.9]), 0);
+        // size medium or large
+        let c2 = StaggerLabeller::new(2);
+        assert_eq!(c2.label(&[0.5, 0.0, 0.0]), 1);
+        assert_eq!(c2.label(&[0.1, 0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn stagger_concepts_disagree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (c0, c1) = (StaggerLabeller::new(0), StaggerLabeller::new(1));
+        let disagreements = (0..1000)
+            .filter(|_| {
+                let x = [rng.random(), rng.random(), rng.random()];
+                c0.label(&x) != c1.label(&x)
+            })
+            .count();
+        assert!(disagreements > 200, "concepts too similar: {disagreements}");
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let t1 = RandomTreeLabeller::new(5, 3, 4, 42);
+        let t2 = RandomTreeLabeller::new(5, 3, 4, 42);
+        let t3 = RandomTreeLabeller::new(5, 3, 4, 43);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut same = 0;
+        let mut diff = 0;
+        for _ in 0..500 {
+            let x: Vec<f64> = (0..5).map(|_| rng.random()).collect();
+            assert_eq!(t1.label(&x), t2.label(&x));
+            if t1.label(&x) != t3.label(&x) {
+                diff += 1;
+            } else {
+                same += 1;
+            }
+        }
+        assert!(diff > 50, "different seeds should disagree: {same} same / {diff} diff");
+    }
+
+    #[test]
+    fn random_tree_covers_all_classes() {
+        let t = RandomTreeLabeller::new(4, 4, 4, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let x: Vec<f64> = (0..4).map(|_| rng.random()).collect();
+            seen.insert(t.label(&x));
+        }
+        assert_eq!(seen.len(), 4, "all classes should be reachable: {seen:?}");
+    }
+
+    #[test]
+    fn hyperplane_is_roughly_balanced() {
+        let h = HyperplaneLabeller::new(10, 11);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pos = (0..5000)
+            .filter(|_| {
+                let x: Vec<f64> = (0..10).map(|_| rng.random()).collect();
+                h.label(&x) == 1
+            })
+            .count();
+        let frac = pos as f64 / 5000.0;
+        assert!((0.2..=0.8).contains(&frac), "class balance {frac}");
+    }
+
+    #[test]
+    fn linear_threshold_produces_all_classes() {
+        let l = LinearThresholdLabeller::new(8, 3, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            let x: Vec<f64> = (0..8).map(|_| rng.random()).collect();
+            counts[l.label(&x)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "class counts {counts:?}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Recurring-concept stream composition.
+//!
+//! The paper's evaluation protocol (Section VI-1): each dataset's concepts
+//! are repeated nine times, with the order of appearance shuffled per seed.
+//! The composer takes one [`ConceptGenerator`] per concept, builds the
+//! shuffled schedule, draws `segment_len` observations per occurrence and
+//! annotates every observation with its ground-truth concept id (consumed
+//! only by the C-F1 evaluation).
+
+use ficsum_stream::{Observation, VecStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::concept::ConceptGenerator;
+
+/// Builds recurring-concept streams from per-concept generators.
+#[derive(Debug, Clone, Copy)]
+pub struct RecurringStreamBuilder {
+    /// Observations per concept occurrence.
+    pub segment_len: usize,
+    /// How many times each concept appears (paper: 9).
+    pub n_recurrences: usize,
+    /// Seed for the appearance-order shuffle.
+    pub seed: u64,
+}
+
+impl RecurringStreamBuilder {
+    /// Composer with the paper's nine recurrences.
+    pub fn new(segment_len: usize, seed: u64) -> Self {
+        Self { segment_len, n_recurrences: 9, seed }
+    }
+
+    /// Overrides the number of recurrences.
+    pub fn with_recurrences(mut self, n: usize) -> Self {
+        self.n_recurrences = n;
+        self
+    }
+
+    /// The shuffled schedule of concept ids, guaranteeing no concept
+    /// immediately follows itself (a self-transition is not a drift).
+    pub fn schedule(&self, n_concepts: usize) -> Vec<usize> {
+        assert!(n_concepts > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut slots: Vec<usize> = (0..n_concepts)
+            .flat_map(|c| std::iter::repeat(c).take(self.n_recurrences))
+            .collect();
+        // Fisher-Yates.
+        for i in (1..slots.len()).rev() {
+            let j = rand::Rng::random_range(&mut rng, 0..=i);
+            slots.swap(i, j);
+        }
+        // Repair adjacent duplicates by swapping with a compatible slot.
+        if n_concepts > 1 {
+            for i in 1..slots.len() {
+                if slots[i] == slots[i - 1] {
+                    if let Some(j) = (0..slots.len()).find(|&j| {
+                        j != i
+                            && slots[j] != slots[i]
+                            && (j == 0 || slots[j - 1] != slots[i])
+                            && (j + 1 >= slots.len() || slots[j + 1] != slots[i])
+                    }) {
+                        slots.swap(i, j);
+                    }
+                }
+            }
+        }
+        slots
+    }
+
+    /// Draws the composed stream. Generators are reused across occurrences
+    /// of their concept (their RNG keeps advancing, so every occurrence
+    /// yields fresh draws from the same distribution).
+    pub fn compose(&self, mut concepts: Vec<Box<dyn ConceptGenerator>>) -> VecStream {
+        assert!(!concepts.is_empty());
+        let dims = concepts[0].dims();
+        let n_classes = concepts.iter().map(|c| c.n_classes()).max().unwrap_or(2);
+        assert!(
+            concepts.iter().all(|c| c.dims() == dims),
+            "all concepts must share dimensionality"
+        );
+        let schedule = self.schedule(concepts.len());
+        let mut data: Vec<Observation> =
+            Vec::with_capacity(schedule.len() * self.segment_len);
+        for &cid in &schedule {
+            let gen = &mut concepts[cid];
+            gen.restart_segment();
+            for _ in 0..self.segment_len {
+                let mut o = gen.generate();
+                o.concept = cid;
+                data.push(o);
+            }
+        }
+        VecStream::with_classes(data, n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::LabelledConcept;
+    use crate::labeller::{Labeller, StaggerLabeller};
+    use crate::sampler::UniformSampler;
+    use ficsum_stream::{ConceptStream, StreamSource};
+
+    fn stagger_concepts(seed: u64) -> Vec<Box<dyn ConceptGenerator>> {
+        (0..3)
+            .map(|c| {
+                Box::new(LabelledConcept::new(
+                    UniformSampler::new(3, seed * 10 + c as u64),
+                    StaggerLabeller::new(c),
+                    0.0,
+                    seed * 100 + c as u64,
+                )) as Box<dyn ConceptGenerator>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_has_each_concept_n_times() {
+        let b = RecurringStreamBuilder::new(100, 7);
+        let s = b.schedule(4);
+        assert_eq!(s.len(), 36);
+        for c in 0..4 {
+            assert_eq!(s.iter().filter(|&&x| x == c).count(), 9);
+        }
+    }
+
+    #[test]
+    fn schedule_avoids_self_transitions() {
+        for seed in 0..20 {
+            let b = RecurringStreamBuilder::new(10, seed);
+            let s = b.schedule(3);
+            let repeats = s.windows(2).filter(|w| w[0] == w[1]).count();
+            assert!(repeats <= 1, "seed {seed}: schedule {s:?} has {repeats} repeats");
+        }
+    }
+
+    #[test]
+    fn composed_stream_has_expected_shape() {
+        let b = RecurringStreamBuilder::new(50, 3);
+        let stream = b.compose(stagger_concepts(1));
+        assert_eq!(stream.len(), 3 * 9 * 50);
+        assert_eq!(stream.dims(), 3);
+        assert_eq!(stream.n_concepts(), 3);
+    }
+
+    #[test]
+    fn concept_annotations_match_schedule() {
+        let b = RecurringStreamBuilder::new(20, 5);
+        let schedule = b.schedule(3);
+        let stream = b.compose(stagger_concepts(2));
+        let obs = stream.observations();
+        for (seg, &cid) in schedule.iter().enumerate() {
+            for i in 0..20 {
+                assert_eq!(obs[seg * 20 + i].concept, cid);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_consistent_with_annotated_concept() {
+        let b = RecurringStreamBuilder::new(30, 11);
+        let stream = b.compose(stagger_concepts(3));
+        for o in stream.observations() {
+            let expected = StaggerLabeller::new(o.concept).label(&o.features);
+            assert_eq!(o.label, expected);
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let a = RecurringStreamBuilder::new(10, 1).schedule(4);
+        let b = RecurringStreamBuilder::new(10, 2).schedule(4);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,299 @@
+//! Feature samplers and per-channel modulation.
+//!
+//! Samplers produce the feature vectors of a concept. The
+//! [`ChannelModulation`] wrapper injects controlled changes in the
+//! *distribution* (mean/scale/skew), *autocorrelation* and *frequency* of
+//! individual feature channels — the paper's mechanism for creating
+//! unsupervised drift in the `HPLANE-U` / `RTREE-U` datasets (Section VI-1)
+//! and the `Synth_{D,A,F}` family (Section VI-6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of feature vectors.
+pub trait FeatureSampler: Send {
+    /// Number of features produced.
+    fn dims(&self) -> usize;
+    /// Draws the next feature vector.
+    fn sample(&mut self) -> Vec<f64>;
+    /// Restarts the sampler's temporal state (called at segment boundaries);
+    /// the RNG is *not* reset so successive segments see fresh draws.
+    fn restart_segment(&mut self) {}
+}
+
+/// I.i.d. uniform `[0, 1)` features — the base sampler of the classic
+/// generators.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    dims: usize,
+    rng: StdRng,
+}
+
+impl UniformSampler {
+    /// `dims` uniform features seeded with `seed`.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        Self { dims, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl FeatureSampler for UniformSampler {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn sample(&mut self) -> Vec<f64> {
+        (0..self.dims).map(|_| self.rng.random()).collect()
+    }
+}
+
+/// Per-channel modulation parameters.
+///
+/// Identity modulation leaves the channel untouched; each effect is applied
+/// in the order skew → scale/shift → autocorrelation → sine overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelModulation {
+    /// Power-transform exponent (`x^gamma`), skewing the distribution.
+    /// 1.0 = no skew; < 1 skews left, > 1 skews right (for `[0,1)` inputs).
+    pub skew_gamma: f64,
+    /// Multiplicative scale around the channel centre.
+    pub scale: f64,
+    /// Additive mean shift.
+    pub shift: f64,
+    /// AR(1) mixing coefficient in `[0, 1)`: `z_t = phi z_{t-1} + (1-phi) x_t`.
+    pub ar_phi: f64,
+    /// Amplitude of the sine overlay.
+    pub sine_amp: f64,
+    /// Angular frequency of the sine overlay (radians per observation).
+    pub sine_freq: f64,
+}
+
+impl Default for ChannelModulation {
+    fn default() -> Self {
+        Self { skew_gamma: 1.0, scale: 1.0, shift: 0.0, ar_phi: 0.0, sine_amp: 0.0, sine_freq: 0.0 }
+    }
+}
+
+impl ChannelModulation {
+    /// Identity (no modulation).
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Random distributional change (mean / scale / skew) drawn per concept.
+    pub fn random_distribution(rng: &mut StdRng) -> Self {
+        Self {
+            skew_gamma: rng.random_range(0.4..2.5),
+            scale: rng.random_range(0.5..1.8),
+            shift: rng.random_range(-0.6..0.6),
+            ..Self::default()
+        }
+    }
+
+    /// Random autocorrelation change drawn per concept.
+    pub fn random_autocorrelation(rng: &mut StdRng) -> Self {
+        Self { ar_phi: rng.random_range(0.3..0.95), ..Self::default() }
+    }
+
+    /// Random frequency overlay drawn per concept.
+    pub fn random_frequency(rng: &mut StdRng) -> Self {
+        Self {
+            sine_amp: rng.random_range(0.2..0.8),
+            sine_freq: rng.random_range(0.05..0.8),
+            ..Self::default()
+        }
+    }
+
+    /// Merges another modulation's effects into this one (for combined
+    /// `Synth_DA`-style drifts).
+    pub fn combine(mut self, other: ChannelModulation) -> Self {
+        if other.skew_gamma != 1.0 {
+            self.skew_gamma = other.skew_gamma;
+        }
+        if other.scale != 1.0 {
+            self.scale = other.scale;
+        }
+        if other.shift != 0.0 {
+            self.shift = other.shift;
+        }
+        if other.ar_phi != 0.0 {
+            self.ar_phi = other.ar_phi;
+        }
+        if other.sine_amp != 0.0 {
+            self.sine_amp = other.sine_amp;
+            self.sine_freq = other.sine_freq;
+        }
+        self
+    }
+}
+
+/// Wraps a base sampler, applying one [`ChannelModulation`] per feature.
+#[derive(Debug, Clone)]
+pub struct ModulatedSampler<S> {
+    base: S,
+    channels: Vec<ChannelModulation>,
+    ar_state: Vec<f64>,
+    t: u64,
+}
+
+impl<S: FeatureSampler> ModulatedSampler<S> {
+    /// Applies `channels[j]` to feature `j` of `base`. The channel list must
+    /// match the base dimensionality.
+    pub fn new(base: S, channels: Vec<ChannelModulation>) -> Self {
+        assert_eq!(base.dims(), channels.len());
+        let dims = base.dims();
+        Self { base, channels, ar_state: vec![0.0; dims], t: 0 }
+    }
+
+    /// Uniform modulation on every channel.
+    pub fn uniform(base: S, modulation: ChannelModulation) -> Self {
+        let dims = base.dims();
+        Self::new(base, vec![modulation; dims])
+    }
+}
+
+impl<S: FeatureSampler> FeatureSampler for ModulatedSampler<S> {
+    fn dims(&self) -> usize {
+        self.base.dims()
+    }
+
+    fn sample(&mut self) -> Vec<f64> {
+        let raw = self.base.sample();
+        let t = self.t as f64;
+        self.t += 1;
+        raw.iter()
+            .enumerate()
+            .map(|(j, &x)| {
+                let m = &self.channels[j];
+                // Skew within [0,1), then scale/shift around 0.5.
+                let mut v = x.clamp(0.0, 1.0).powf(m.skew_gamma);
+                v = 0.5 + (v - 0.5) * m.scale + m.shift;
+                // AR(1) smoothing.
+                if m.ar_phi > 0.0 {
+                    let prev = if self.t == 1 { v } else { self.ar_state[j] };
+                    v = m.ar_phi * prev + (1.0 - m.ar_phi) * v;
+                    self.ar_state[j] = v;
+                }
+                // Sinusoidal overlay.
+                if m.sine_amp != 0.0 {
+                    v += m.sine_amp * (m.sine_freq * t).sin();
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn restart_segment(&mut self) {
+        self.base.restart_segment();
+        self.ar_state.iter_mut().for_each(|s| *s = 0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_stream::RunningStats;
+
+    fn column(sampler: &mut impl FeatureSampler, j: usize, n: usize) -> Vec<f64> {
+        (0..n).map(|_| sampler.sample()[j]).collect()
+    }
+
+    fn acf1(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let den: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+        let num: f64 = xs.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum();
+        num / den.max(1e-12)
+    }
+
+    #[test]
+    fn uniform_sampler_is_uniform() {
+        let mut s = UniformSampler::new(3, 1);
+        let xs = column(&mut s, 1, 5000);
+        let mut st = RunningStats::new();
+        xs.iter().for_each(|&x| st.push(x));
+        assert!((st.mean() - 0.5).abs() < 0.02);
+        assert!((st.std_dev() - (1.0f64 / 12.0).sqrt()).abs() < 0.02);
+        assert!(acf1(&xs).abs() < 0.05);
+    }
+
+    #[test]
+    fn identity_modulation_is_transparent() {
+        let base = UniformSampler::new(2, 7);
+        let mut plain = UniformSampler::new(2, 7);
+        let mut modded = ModulatedSampler::uniform(base, ChannelModulation::identity());
+        for _ in 0..100 {
+            let (p, m) = (plain.sample(), modded.sample());
+            for (a, b) in p.iter().zip(&m) {
+                // identical up to rounding of the no-op arithmetic
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_moves_the_mean() {
+        let m = ChannelModulation { shift: 0.4, ..ChannelModulation::identity() };
+        let mut s = ModulatedSampler::uniform(UniformSampler::new(1, 2), m);
+        let xs = column(&mut s, 0, 3000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.9).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ar_phi_raises_autocorrelation() {
+        let m = ChannelModulation { ar_phi: 0.9, ..ChannelModulation::identity() };
+        let mut s = ModulatedSampler::uniform(UniformSampler::new(1, 3), m);
+        let xs = column(&mut s, 0, 5000);
+        assert!(acf1(&xs) > 0.7, "acf1 {}", acf1(&xs));
+    }
+
+    #[test]
+    fn sine_overlay_adds_oscillation() {
+        let m = ChannelModulation {
+            sine_amp: 0.5,
+            sine_freq: 0.3,
+            ..ChannelModulation::identity()
+        };
+        let mut s = ModulatedSampler::uniform(UniformSampler::new(1, 4), m);
+        let xs = column(&mut s, 0, 2000);
+        let mut st = RunningStats::new();
+        xs.iter().for_each(|&x| st.push(x));
+        // Variance grows by amp^2/2 over the uniform baseline 1/12.
+        let expected = 1.0 / 12.0 + 0.125;
+        assert!((st.variance() - expected).abs() < 0.02, "var {}", st.variance());
+    }
+
+    #[test]
+    fn skew_gamma_skews() {
+        let m = ChannelModulation { skew_gamma: 3.0, ..ChannelModulation::identity() };
+        let mut s = ModulatedSampler::uniform(UniformSampler::new(1, 5), m);
+        let xs = column(&mut s, 0, 3000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // x^3 over U[0,1) has mean 0.25: mass pushed toward zero.
+        assert!((mean - 0.25).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn restart_clears_temporal_state() {
+        let m = ChannelModulation {
+            ar_phi: 0.9,
+            sine_amp: 0.5,
+            sine_freq: 0.2,
+            ..ChannelModulation::identity()
+        };
+        let mut s = ModulatedSampler::uniform(UniformSampler::new(1, 6), m);
+        let _ = column(&mut s, 0, 100);
+        s.restart_segment();
+        assert_eq!(s.t, 0);
+        assert_eq!(s.ar_state, vec![0.0]);
+    }
+
+    #[test]
+    fn combine_overlays_effects() {
+        let d = ChannelModulation { shift: 0.3, ..ChannelModulation::identity() };
+        let a = ChannelModulation { ar_phi: 0.8, ..ChannelModulation::identity() };
+        let c = d.combine(a);
+        assert_eq!(c.shift, 0.3);
+        assert_eq!(c.ar_phi, 0.8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Statistical properties of the generated datasets: drift is in the
+//! declared distribution component, recurrences are genuine, seeds vary
+//! the streams but not the declared shape.
+
+use ficsum_stream::{ConceptStream, StreamSource};
+use ficsum_synth::{dataset_by_name, spec_by_name, synth_stream, SynthDrift, ALL_DATASETS};
+
+/// Per-concept mean of feature `j`.
+fn concept_feature_means(name: &str, seed: u64, j: usize) -> Vec<f64> {
+    let stream = dataset_by_name(name, seed).unwrap();
+    let spec = spec_by_name(name).unwrap();
+    let mut sums = vec![0.0; spec.n_contexts];
+    let mut counts = vec![0usize; spec.n_contexts];
+    for o in stream.observations() {
+        sums[o.concept] += o.features[j];
+        counts[o.concept] += 1;
+    }
+    sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect()
+}
+
+fn spread(values: &[f64]) -> f64 {
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+#[test]
+fn unsupervised_datasets_move_feature_means_more_than_supervised_ones() {
+    // STAGGER/RTREE share a fixed sampler: per-concept feature means are
+    // nearly identical. The -U datasets move them by construction.
+    let stagger = spread(&concept_feature_means("STAGGER", 5, 0));
+    let rtree_u = spread(&concept_feature_means("RTREE-U", 5, 0));
+    assert!(stagger < 0.05, "STAGGER p(X) is stationary: {stagger}");
+    assert!(rtree_u > 0.1, "RTREE-U p(X) must drift: {rtree_u}");
+}
+
+#[test]
+fn class_labels_cover_declared_range() {
+    for spec in ALL_DATASETS {
+        let stream = dataset_by_name(spec.name, 2).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for o in stream.observations() {
+            seen.insert(o.label);
+            assert!(o.label < spec.n_classes, "{}", spec.name);
+        }
+        assert!(
+            seen.len() >= 2,
+            "{} must produce at least two classes, saw {seen:?}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn concept_annotations_cover_all_contexts_nine_times() {
+    for spec in ALL_DATASETS {
+        let stream = dataset_by_name(spec.name, 4).unwrap();
+        let mut counts = vec![0usize; spec.n_contexts];
+        for o in stream.observations() {
+            counts[o.concept] += 1;
+        }
+        for (c, &n) in counts.iter().enumerate() {
+            assert_eq!(
+                n,
+                spec.segment_len() * 9,
+                "{} concept {c} occurrence mass",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_schedules_same_shape() {
+    let a = dataset_by_name("RBF", 1).unwrap();
+    let b = dataset_by_name("RBF", 2).unwrap();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.n_concepts(), b.n_concepts());
+    let first_diff = a
+        .observations()
+        .iter()
+        .zip(b.observations())
+        .any(|(x, y)| x.features != y.features || x.concept != y.concept);
+    assert!(first_diff, "seeds must change the stream");
+}
+
+#[test]
+fn synth_family_injects_the_declared_drift_type() {
+    // Distribution drift moves per-concept means; pure frequency drift
+    // leaves means nearly unchanged (sine averages out) but adds variance.
+    let d_stream = synth_stream(&[SynthDrift::Distribution], 3, 400, 9);
+    let f_stream = synth_stream(&[SynthDrift::Frequency], 3, 400, 9);
+    let per_concept = |s: &ficsum_stream::VecStream| -> Vec<f64> {
+        let mut sums = vec![0.0; 3];
+        let mut counts = vec![0usize; 3];
+        for o in s.observations() {
+            sums[o.concept] += o.features[0];
+            counts[o.concept] += 1;
+        }
+        sums.iter().zip(&counts).map(|(x, &c)| x / c as f64).collect()
+    };
+    let d_spread = spread(&per_concept(&d_stream));
+    let f_spread = spread(&per_concept(&f_stream));
+    assert!(d_spread > f_spread + 0.05, "D {d_spread} vs F {f_spread}");
+}

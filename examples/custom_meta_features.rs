@@ -1,0 +1,51 @@
+//! Build a FiCSUM variant with a custom meta-information configuration and
+//! inspect the fingerprint schema and learned weights.
+//!
+//! ```sh
+//! cargo run --release --example custom_meta_features
+//! ```
+
+use ficsum::core::{Ficsum, FicsumConfig};
+use ficsum::prelude::*;
+
+fn main() {
+    // A compact fingerprint: moments + autocorrelation only, all sources.
+    let extractor = FingerprintExtractor::new(
+        3,
+        vec![
+            MetaFunction::Mean,
+            MetaFunction::StdDev,
+            MetaFunction::Acf1,
+            MetaFunction::TurningPointRate,
+        ],
+        SourceSelection::all(),
+        true, // + feature-importance channels
+    );
+    println!("fingerprint dimensions ({}):", extractor.schema().len());
+    for dim in &extractor.schema().dims {
+        print!("  {}", dim.name());
+    }
+    println!("\n");
+
+    let factory = Box::new(move || {
+        Box::new(HoeffdingTree::new(3, 2)) as Box<dyn Classifier>
+    });
+    let mut system =
+        Ficsum::from_parts(3, 2, FicsumConfig::default(), extractor, factory);
+
+    let mut stream = ficsum::synth::stagger_stream(3);
+    for _ in 0..6000 {
+        let Some(obs) = stream.next_observation() else { break };
+        system.process(&obs.features, obs.label);
+    }
+
+    println!("stats after 6000 observations: {:?}", system.stats());
+    let weights = &system.weights().values;
+    let mut indexed: Vec<(usize, f64)> =
+        weights.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nfive most influential meta-features right now:");
+    for (i, w) in indexed.into_iter().take(5) {
+        println!("  weight {:>7.2}  (dimension {i})", w);
+    }
+}

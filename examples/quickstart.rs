@@ -1,0 +1,46 @@
+//! Quickstart: run FiCSUM over a recurring-concept stream and watch it
+//! detect drifts and reuse stored concepts.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ficsum::prelude::*;
+
+fn main() {
+    // STAGGER: three boolean concepts, each recurring nine times.
+    let mut stream = ficsum::synth::stagger_stream(42);
+    println!(
+        "stream: {} observations, {} features, {} classes",
+        stream.len(),
+        stream.dims(),
+        stream.n_classes()
+    );
+
+    let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes())
+        .variant(Variant::Full)
+        .build();
+
+    let mut correct = 0u64;
+    let mut n = 0u64;
+    while let Some(obs) = stream.next_observation() {
+        let outcome = system.process(&obs.features, obs.label);
+        if outcome.prediction == obs.label {
+            correct += 1;
+        }
+        n += 1;
+        if outcome.drift {
+            println!(
+                "t={n}: drift detected -> active concept {}",
+                outcome.active_concept
+            );
+        }
+    }
+
+    let stats = system.stats();
+    println!("\naccuracy          : {:.3}", correct as f64 / n as f64);
+    println!("drifts detected   : {}", stats.n_drifts);
+    println!("concepts reused   : {}", stats.n_reuses);
+    println!("concepts created  : {}", stats.n_new_concepts);
+    println!("stored concepts   : {}", system.repository().len());
+}

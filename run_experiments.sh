@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Results land in results/.
+set -u
+cd "$(dirname "$0")"
+SEEDS="${SEEDS:-1}"
+cargo run --release -p ficsum-bench --bin table2_datasets > results/table2.txt 2>/dev/null
+echo "table2 done"
+cargo run --release -p ficsum-bench --bin table3_discrimination -- --seeds "$SEEDS" > results/table3.txt 2>results/table3.log
+echo "table3 done"
+cargo run --release -p ficsum-bench --bin table4_performance -- --seeds "$SEEDS" > results/table4.txt 2>results/table4.log
+echo "table4 done"
+cargo run --release -p ficsum-bench --bin table5_meta_functions -- --seeds "$SEEDS" > results/table5.txt 2>results/table5.log
+echo "table5 done"
+cargo run --release -p ficsum-bench --bin table6_frameworks -- --seeds "$SEEDS" > results/table6.txt 2>results/table6.log
+echo "table6 done"
+cargo run --release -p ficsum-bench --bin fig3_sensitivity -- --quick > results/fig3.txt 2>results/fig3.log
+echo "fig3 done"
+cargo run --release -p ficsum-bench --bin ablations -- --seeds "$SEEDS" --quick > results/ablations.txt 2>results/ablations.log
+echo "ablations done"

@@ -1,0 +1,103 @@
+//! Cross-crate integration tests: the full FiCSUM pipeline driven over
+//! composed recurring-concept streams, the baseline frameworks under the
+//! shared evaluation runner, and end-to-end metric sanity.
+
+use ficsum::prelude::*;
+
+fn run_system(mut system: impl EvaluatedSystem, name: &str, cap: usize) -> RunResult {
+    let mut stream = dataset_by_name(name, 11).expect("dataset exists");
+    let n_classes = stream.n_classes();
+    let data: Vec<_> = stream.observations().iter().take(cap).cloned().collect();
+    let mut stream = ficsum::stream::VecStream::with_classes(data, n_classes);
+    evaluate(&mut system, &mut stream, n_classes)
+}
+
+#[test]
+fn ficsum_full_pipeline_on_stagger() {
+    let r = run_system(FicsumSystem::new(3, 2, Variant::Full), "STAGGER", 10_000);
+    assert!(r.kappa > 0.25, "kappa {}", r.kappa);
+    assert!(r.c_f1 > 0.2, "c_f1 {}", r.c_f1);
+    assert_eq!(r.n_observations, 10_000);
+    assert!(r.n_models >= 2, "recurring STAGGER must yield multiple models");
+}
+
+#[test]
+fn all_variants_complete_on_rbf() {
+    for variant in [Variant::ErrorRate, Variant::Supervised, Variant::Unsupervised, Variant::Full]
+    {
+        let r = run_system(FicsumSystem::new(10, 3, variant), "RBF", 6_000);
+        assert_eq!(r.n_observations, 6_000, "{variant:?}");
+        assert!(r.kappa > -0.2, "{variant:?} kappa {}", r.kappa);
+        assert!((0.0..=1.0).contains(&r.c_f1), "{variant:?} c_f1 {}", r.c_f1);
+    }
+}
+
+#[test]
+fn baseline_frameworks_complete_on_rtree() {
+    let r = run_system(Htcd::new(10, 2), "RTREE", 6_000);
+    assert!(r.kappa > 0.0, "HTCD kappa {}", r.kappa);
+    let r = run_system(Rcd::new(10, 2), "RTREE", 6_000);
+    assert!(r.kappa > -0.2, "RCD kappa {}", r.kappa);
+    let r = run_system(EnsembleSystem::arf(10, 2), "RTREE", 6_000);
+    assert!(r.kappa > 0.2, "ARF kappa {}", r.kappa);
+    let r = run_system(EnsembleSystem::dwm(10, 2), "RTREE", 6_000);
+    assert!(r.kappa > 0.0, "DWM kappa {}", r.kappa);
+}
+
+#[test]
+fn ensembles_report_single_model_identity() {
+    let r = run_system(EnsembleSystem::arf(3, 2), "STAGGER", 3_000);
+    assert_eq!(r.n_models, 1, "ARF has one evolving model");
+}
+
+#[test]
+fn every_dataset_runs_through_full_ficsum_briefly() {
+    for spec in ALL_DATASETS {
+        let mut stream = dataset_by_name(spec.name, 3).unwrap();
+        let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes()).build();
+        for _ in 0..1500 {
+            let Some(o) = stream.next_observation() else { break };
+            let out = system.process(&o.features, o.label);
+            assert!(out.prediction < stream.n_classes().max(2), "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn drift_points_are_monotonic_and_counted() {
+    let mut stream = dataset_by_name("STAGGER", 5).unwrap();
+    let mut system = FicsumBuilder::new(3, 2).build();
+    for _ in 0..12_000 {
+        let Some(o) = stream.next_observation() else { break };
+        system.process(&o.features, o.label);
+    }
+    let points = system.drift_points();
+    assert_eq!(points.len() as u64, system.stats().n_drifts);
+    assert!(points.windows(2).all(|w| w[0] < w[1]), "drift points sorted");
+}
+
+#[test]
+fn repository_respects_capacity_bound() {
+    let config = FicsumConfig { max_repository: 3, ..FicsumConfig::default() };
+    let mut stream = dataset_by_name("STAGGER", 9).unwrap();
+    let mut system = FicsumBuilder::new(3, 2).config(config).build();
+    for _ in 0..15_000 {
+        let Some(o) = stream.next_observation() else { break };
+        system.process(&o.features, o.label);
+    }
+    assert!(system.repository().len() <= 3, "repo {}", system.repository().len());
+}
+
+#[test]
+fn similarity_trace_records_bounded_values() {
+    let mut stream = dataset_by_name("RBF", 2).unwrap();
+    let mut system = FicsumBuilder::new(10, 3).build();
+    system.enable_similarity_trace();
+    for _ in 0..4_000 {
+        let Some(o) = stream.next_observation() else { break };
+        system.process(&o.features, o.label);
+    }
+    let trace = system.similarity_trace().expect("trace enabled");
+    assert!(!trace.is_empty());
+    assert!(trace.iter().all(|(_, s)| (-1.0..=1.0).contains(s)));
+}

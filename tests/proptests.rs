@@ -1,0 +1,185 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ficsum::core::{cosine, fingerprint_similarity, weighted_cosine, ConceptFingerprint};
+use ficsum::drift::{Adwin, DriftDetector};
+use ficsum::eval::KappaEvaluator;
+use ficsum::meta::{
+    autocorrelation, imf_entropies, kurtosis, lagged_mutual_information, mean,
+    partial_autocorrelation, skewness, std_dev, turning_point_rate, EmdConfig,
+    FingerprintExtractor,
+};
+use ficsum::stream::{EwStats, LabeledObservation, MinMaxScaler, RunningStats, SlidingWindow};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn running_stats_match_batch(values in finite_vec(200)) {
+        let mut s = RunningStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var));
+        prop_assert_eq!(s.count() as usize, values.len());
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_independent(a in finite_vec(100), b in finite_vec(100)) {
+        let fill = |vals: &[f64]| {
+            let mut s = RunningStats::new();
+            vals.iter().for_each(|&v| s.push(v));
+            s
+        };
+        let mut ab = fill(&a);
+        ab.merge(&fill(&b));
+        let mut ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * (1.0 + ab.mean().abs()));
+        prop_assert!((ab.variance() - ba.variance()).abs() <= 1e-4 * (1.0 + ab.variance()));
+    }
+
+    #[test]
+    fn minmax_scaler_stays_in_unit_interval(values in finite_vec(100), probe in -1e6f64..1e6) {
+        let mut m = MinMaxScaler::new();
+        values.iter().for_each(|&v| m.observe(v));
+        let s = m.scale(probe);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn ew_stats_mean_is_bounded_by_observed_range(values in finite_vec(100)) {
+        let mut s = EwStats::new(0.1);
+        values.iter().for_each(|&v| s.push(v));
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in finite_vec(32), b in finite_vec(32)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let s = cosine(a, b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        prop_assert!((s - cosine(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cosine_self_similarity_is_one(a in prop::collection::vec(0.01f64..1e3, 2..32),
+                                              w in prop::collection::vec(0.01f64..10.0, 32)) {
+        let s = weighted_cosine(&a, &a, &w[..a.len()]);
+        prop_assert!((s - 1.0).abs() < 1e-9, "self-sim {s}");
+    }
+
+    #[test]
+    fn fingerprint_similarity_bounded_for_normalised_inputs(
+        a in prop::collection::vec(0.0f64..1.0, 1..32),
+        b in prop::collection::vec(0.0f64..1.0, 32),
+        w in prop::collection::vec(0.0f64..5.0, 32),
+    ) {
+        let n = a.len();
+        let s = fingerprint_similarity(&a, &b[..n], &w[..n]);
+        prop_assert!((0.0..=1.0).contains(&s), "sim {s}");
+    }
+
+    #[test]
+    fn moment_functions_are_finite(values in finite_vec(150)) {
+        for f in [mean, std_dev, skewness, kurtosis, turning_point_rate] {
+            prop_assert!(f(&values).is_finite());
+        }
+        prop_assert!(autocorrelation(&values, 1).is_finite());
+        prop_assert!(autocorrelation(&values, 2).is_finite());
+        prop_assert!(partial_autocorrelation(&values, 2).is_finite());
+    }
+
+    #[test]
+    fn autocorrelation_is_bounded(values in finite_vec(150)) {
+        for lag in [1usize, 2] {
+            let r = autocorrelation(&values, lag);
+            prop_assert!((-1.000001..=1.000001).contains(&r), "acf{lag}={r}");
+        }
+    }
+
+    #[test]
+    fn mutual_information_is_nonnegative(values in finite_vec(120)) {
+        prop_assert!(lagged_mutual_information(&values, 1, 8) >= 0.0);
+    }
+
+    #[test]
+    fn emd_never_panics_and_entropy_is_finite(values in finite_vec(120)) {
+        let (h1, h2) = imf_entropies(&values, &EmdConfig::default());
+        prop_assert!(h1.is_finite() && h2.is_finite());
+        prop_assert!(h1 >= 0.0 && h2 >= 0.0);
+    }
+
+    #[test]
+    fn extractor_output_is_finite_for_any_window(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-100.0f64..100.0, 3), 0usize..3, 0usize..3),
+            5..60,
+        )
+    ) {
+        let ex = FingerprintExtractor::full(3);
+        let window: Vec<LabeledObservation> = rows
+            .into_iter()
+            .map(|(x, y, l)| LabeledObservation::new(x, y, l))
+            .collect();
+        let fp = ex.extract(&window, None);
+        prop_assert_eq!(fp.len(), ex.schema().len());
+        prop_assert!(fp.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn adwin_handles_arbitrary_bounded_input(values in prop::collection::vec(0.0f64..1.0, 1..500)) {
+        let mut adwin = Adwin::new(0.01);
+        for &v in &values {
+            adwin.add(v);
+        }
+        prop_assert!(adwin.width() <= values.len() as u64);
+        prop_assert!(adwin.mean().is_finite());
+        prop_assert!(adwin.variance() >= -1e-9);
+    }
+
+    #[test]
+    fn kappa_is_bounded(pairs in prop::collection::vec((0usize..3, 0usize..3), 1..300)) {
+        let mut k = KappaEvaluator::new(3);
+        for (t, p) in pairs {
+            k.record(t, p);
+        }
+        let kappa = k.kappa();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&kappa), "kappa {kappa}");
+    }
+
+    #[test]
+    fn sliding_window_never_exceeds_capacity(cap in 1usize..20, n in 0usize..100) {
+        let mut w = SlidingWindow::new(cap);
+        for i in 0..n {
+            w.push(LabeledObservation::new(vec![i as f64], 0, 0));
+            prop_assert!(w.len() <= cap);
+        }
+        prop_assert_eq!(w.len(), n.min(cap));
+    }
+
+    #[test]
+    fn concept_fingerprint_mean_is_bounded_by_inputs(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4), 1..50)
+    ) {
+        let mut cf = ConceptFingerprint::new(4);
+        for row in &rows {
+            cf.incorporate(row);
+        }
+        for dim in 0..4 {
+            let m = cf.mean(dim);
+            prop_assert!((0.0..=1.0).contains(&m));
+            prop_assert!(cf.std_dev(dim) <= 0.5 + 1e-9);
+        }
+    }
+}
