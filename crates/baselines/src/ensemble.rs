@@ -60,13 +60,12 @@ impl EvaluatedSystem for EnsembleSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
     #[test]
     fn both_ensembles_learn() {
         for mut system in [EnsembleSystem::dwm(2, 2), EnsembleSystem::arf(2, 2)] {
-            let mut rng = StdRng::seed_from_u64(6);
+            let mut rng = Xoshiro256pp::seed_from_u64(6);
             let mut correct = 0;
             for i in 0..1500 {
                 let y = rng.random_range(0..2usize);

@@ -22,8 +22,11 @@ impl FicsumSystem {
         variant: Variant,
         config: FicsumConfig,
     ) -> Self {
-        let inner =
-            FicsumBuilder::new(n_features, n_classes).variant(variant).config(config).build();
+        let inner = FicsumBuilder::new(n_features, n_classes)
+            .variant(variant)
+            .config(config)
+            .build()
+            .expect("valid FiCSUM configuration");
         Self { inner, label: variant.name() }
     }
 

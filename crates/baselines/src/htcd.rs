@@ -60,10 +60,9 @@ impl EvaluatedSystem for Htcd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
-    fn blob(rng: &mut StdRng, flip: bool) -> (Vec<f64>, usize) {
+    fn blob(rng: &mut Xoshiro256pp, flip: bool) -> (Vec<f64>, usize) {
         let y = rng.random_range(0..2usize);
         let x0 = if y == 0 { rng.random::<f64>() } else { 2.0 + rng.random::<f64>() };
         (vec![x0, rng.random()], if flip { 1 - y } else { y })
@@ -71,7 +70,7 @@ mod tests {
 
     #[test]
     fn resets_on_label_flip() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let mut htcd = Htcd::new(2, 2);
         for _ in 0..3000 {
             let (x, y) = blob(&mut rng, false);
@@ -92,7 +91,7 @@ mod tests {
 
     #[test]
     fn model_id_increments_per_reset() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut htcd = Htcd::new(2, 2);
         let (_, m0) = htcd.step(&[0.0, 0.0], 0);
         assert_eq!(m0, 0);

@@ -1,31 +1,47 @@
-//! Criterion micro-benchmarks for the hot paths of the FiCSUM pipeline:
-//! meta-feature extraction (full fingerprint, EMD, mutual information),
-//! the ADWIN detector, Hoeffding-tree training/prediction and the weighted
-//! similarity/weight computations.
+//! Std-only micro-benchmarks for the hot paths of the FiCSUM pipeline:
+//! meta-feature extraction (legacy extractor and the fingerprint engine,
+//! EMD, mutual information), the ADWIN detector, Hoeffding-tree
+//! training/prediction and the weighted similarity/weight computations.
+//!
+//! No external harness: timing comes from
+//! [`ficsum_bench::harness::time_throughput`], and randomness from the
+//! repo's own [`Xoshiro256pp`]. Gated behind the off-by-default
+//! `property-tests` feature so `cargo test`/`cargo bench` stay fast:
+//!
+//! ```text
+//! cargo bench -p ficsum-bench --features property-tests
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use ficsum_bench::harness::{synthetic_window, time_throughput};
 use ficsum_classifiers::{Classifier, HoeffdingTree};
-use ficsum_core::{weighted_cosine, ConceptFingerprint, DynamicWeights, FingerprintNormalizer, Repository};
+use ficsum_core::{
+    weighted_cosine, ConceptFingerprint, DynamicWeights, FingerprintNormalizer, Repository,
+};
 use ficsum_drift::{Adwin, DriftDetector};
-use ficsum_meta::{imf_entropies, lagged_mutual_information, EmdConfig, FingerprintExtractor};
-use ficsum_stream::LabeledObservation;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_meta::{
+    imf_entropies, lagged_mutual_information, EmdConfig, FingerprintEngine, FingerprintExtractor,
+};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
-fn window(n: usize, d: usize, seed: u64) -> Vec<LabeledObservation> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
-            LabeledObservation::new(x, rng.random_range(0..2), rng.random_range(0..2))
-        })
-        .collect()
+const SECS_PER_CASE: f64 = 0.4;
+
+fn report(name: &str, f: impl FnMut()) {
+    let t = time_throughput(SECS_PER_CASE, 1, f);
+    let per = t.secs_per_iter();
+    let (value, unit) = if per < 1e-6 {
+        (per * 1e9, "ns")
+    } else if per < 1e-3 {
+        (per * 1e6, "us")
+    } else {
+        (per * 1e3, "ms")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({} iters)", t.iterations);
 }
 
 fn trained_tree(d: usize) -> HoeffdingTree {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     let mut tree = HoeffdingTree::new(d, 2);
     for _ in 0..2000 {
         let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
@@ -35,48 +51,47 @@ fn trained_tree(d: usize) -> HoeffdingTree {
     tree
 }
 
-fn bench_extraction(c: &mut Criterion) {
-    let w = window(75, 10, 1);
+fn bench_extraction() {
+    let w = synthetic_window(75, 10, 1);
     let tree = trained_tree(10);
     let full = FingerprintExtractor::full(10);
-    c.bench_function("fingerprint_extract_full_w75_d10", |b| {
-        b.iter(|| black_box(full.extract(black_box(&w), Some(&tree))))
+    report("fingerprint_extract_full_w75_d10", || {
+        black_box(full.extract(black_box(&w), Some(&tree)));
+    });
+    let mut engine = FingerprintEngine::new(full.clone());
+    report("fingerprint_engine_full_w75_d10", || {
+        black_box(engine.extract_repredicted(black_box(&w), &tree));
     });
     let er = FingerprintExtractor::error_rate_only(10);
-    c.bench_function("fingerprint_extract_er_w75_d10", |b| {
-        b.iter(|| black_box(er.extract(black_box(&w), None)))
+    report("fingerprint_extract_er_w75_d10", || {
+        black_box(er.extract(black_box(&w), None));
     });
 }
 
-fn bench_meta_functions(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+fn bench_meta_functions() {
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
     let xs: Vec<f64> = (0..75).map(|_| rng.random()).collect();
-    c.bench_function("emd_imf_entropies_n75", |b| {
-        b.iter(|| black_box(imf_entropies(black_box(&xs), &EmdConfig::default())))
+    report("emd_imf_entropies_n75", || {
+        black_box(imf_entropies(black_box(&xs), &EmdConfig::default()));
     });
-    c.bench_function("mutual_information_n75", |b| {
-        b.iter(|| black_box(lagged_mutual_information(black_box(&xs), 1, 8)))
+    report("mutual_information_n75", || {
+        black_box(lagged_mutual_information(black_box(&xs), 1, 8));
     });
 }
 
-fn bench_adwin(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn bench_adwin() {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     let values: Vec<f64> = (0..10_000).map(|_| rng.random()).collect();
-    c.bench_function("adwin_10k_updates", |b| {
-        b.iter_batched(
-            || Adwin::new(0.002),
-            |mut adwin| {
-                for &v in &values {
-                    black_box(adwin.add(v));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    report("adwin_10k_updates", || {
+        let mut adwin = Adwin::new(0.002);
+        for &v in &values {
+            black_box(adwin.add(v));
+        }
     });
 }
 
-fn bench_hoeffding(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(4);
+fn bench_hoeffding() {
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
     let data: Vec<(Vec<f64>, usize)> = (0..5000)
         .map(|_| {
             let x: Vec<f64> = (0..10).map(|_| rng.random()).collect();
@@ -84,32 +99,30 @@ fn bench_hoeffding(c: &mut Criterion) {
             (x, y)
         })
         .collect();
-    c.bench_function("hoeffding_train_5k_d10", |b| {
-        b.iter_batched(
-            || HoeffdingTree::new(10, 2),
-            |mut tree| {
-                for (x, y) in &data {
-                    tree.train(x, *y);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    report("hoeffding_train_5k_d10", || {
+        let mut tree = HoeffdingTree::new(10, 2);
+        for (x, y) in &data {
+            tree.train(x, *y);
+        }
+        black_box(&tree);
     });
     let tree = trained_tree(10);
     let x: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
-    c.bench_function("hoeffding_predict_d10", |b| b.iter(|| black_box(tree.predict(black_box(&x)))));
-    c.bench_function("hoeffding_contributions_d10", |b| {
-        b.iter(|| black_box(tree.feature_contributions(black_box(&x))))
+    report("hoeffding_predict_d10", || {
+        black_box(tree.predict(black_box(&x)));
+    });
+    report("hoeffding_contributions_d10", || {
+        black_box(tree.feature_contributions(black_box(&x)));
     });
 }
 
-fn bench_similarity(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(5);
+fn bench_similarity() {
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     let a: Vec<f64> = (0..172).map(|_| rng.random()).collect();
     let bv: Vec<f64> = (0..172).map(|_| rng.random()).collect();
     let w: Vec<f64> = (0..172).map(|_| rng.random::<f64>() * 2.0).collect();
-    c.bench_function("weighted_cosine_d172", |b| {
-        b.iter(|| black_box(weighted_cosine(black_box(&a), black_box(&bv), black_box(&w))))
+    report("weighted_cosine_d172", || {
+        black_box(weighted_cosine(black_box(&a), black_box(&bv), black_box(&w)));
     });
 
     let mut active = ConceptFingerprint::new(172);
@@ -120,17 +133,16 @@ fn bench_similarity(c: &mut Criterion) {
         active.incorporate(&v);
     }
     let repo = Repository::new(0);
-    c.bench_function("dynamic_weights_d172", |b| {
-        b.iter(|| black_box(DynamicWeights::compute(&active, &repo, &normalizer, 0.01)))
+    report("dynamic_weights_d172", || {
+        black_box(DynamicWeights::compute(&active, &repo, &normalizer, 0.01));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_extraction,
-    bench_meta_functions,
-    bench_adwin,
-    bench_hoeffding,
-    bench_similarity
-);
-criterion_main!(benches);
+fn main() {
+    println!("std-only micro-benchmarks ({SECS_PER_CASE:.1}s per case)");
+    bench_extraction();
+    bench_adwin();
+    bench_meta_functions();
+    bench_hoeffding();
+    bench_similarity();
+}

@@ -1,0 +1,131 @@
+//! Fingerprint extraction throughput: the pre-engine framework path
+//! (materialise the tracked window with `to_vec`, clone-and-relabel every
+//! observation, then run [`FingerprintExtractor::extract`]) against the
+//! reusable [`FingerprintEngine`] reading the [`TrackedWindow`] directly,
+//! on the 20-feature / 100-observation window the engine's parity tests
+//! use.
+//!
+//! The two paths are timed in short interleaved rounds rather than one
+//! long block each: clock-frequency drift and background scheduling noise
+//! then hit both paths almost equally instead of biasing whichever path
+//! happened to run during the quiet stretch.
+//!
+//! Usage: `extraction_throughput [--secs S] [--d D] [--window W] [--reps R]`
+//! (defaults: 0.25 s per round, 8 rounds per path, d = 20, w = 100).
+
+use ficsum_bench::harness::{synthetic_window, time_throughput, Throughput};
+use ficsum_classifiers::{Classifier, HoeffdingTree};
+use ficsum_meta::{FingerprintEngine, FingerprintExtractor};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
+use ficsum_stream::{LabeledObservation, TrackedWindow};
+
+fn interleaved(
+    rounds: usize,
+    secs: f64,
+    units: u64,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (Throughput, Throughput) {
+    let mut acc_a = Throughput { iterations: 0, seconds: 0.0, units_per_iter: units };
+    let mut acc_b = Throughput { iterations: 0, seconds: 0.0, units_per_iter: units };
+    for _ in 0..rounds {
+        let ra = time_throughput(secs, units, &mut a);
+        let rb = time_throughput(secs, units, &mut b);
+        acc_a.iterations += ra.iterations;
+        acc_a.seconds += ra.seconds;
+        acc_b.iterations += rb.iterations;
+        acc_b.seconds += rb.seconds;
+    }
+    (acc_a, acc_b)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut secs = 0.25f64;
+    let mut d = 20usize;
+    let mut w = 100usize;
+    let mut reps = 8usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--secs" => {
+                secs = args[i + 1].parse().expect("--secs requires a number");
+                i += 1;
+            }
+            "--d" => {
+                d = args[i + 1].parse().expect("--d requires a number");
+                i += 1;
+            }
+            "--window" => {
+                w = args[i + 1].parse().expect("--window requires a number");
+                i += 1;
+            }
+            "--reps" => {
+                reps = args[i + 1].parse().expect("--reps requires a number");
+                i += 1;
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 1;
+    }
+
+    let mut tracked = TrackedWindow::new(w, d);
+    for obs in synthetic_window(w, d, 42) {
+        tracked.push(obs);
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let mut tree = HoeffdingTree::new(d, 2);
+    for _ in 0..2000 {
+        let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
+        tree.train(&x, (x[0] > 0.5) as usize);
+    }
+
+    let extractor = FingerprintExtractor::full(d);
+    let mut engine = FingerprintEngine::new(extractor.clone());
+
+    // Parity first: a benchmark comparing two paths is only meaningful if
+    // they compute the same thing.
+    let relabel = |win: &[LabeledObservation], clf: &HoeffdingTree| -> Vec<LabeledObservation> {
+        win.iter()
+            .map(|o| o.observation.clone().labeled(clf.predict(o.features())))
+            .collect()
+    };
+    let legacy_fp = extractor.extract(&relabel(&tracked.to_vec(), &tree), Some(&tree));
+    let engine_fp = engine.extract_tracked_repredicted(&tracked, &tree);
+    assert_eq!(legacy_fp, engine_fp, "engine must be bit-identical to the legacy path");
+
+    println!(
+        "extraction throughput: d = {d}, window = {w} observations, \
+         {reps} interleaved rounds x {secs:.2}s per path"
+    );
+    println!("{:<28} {:>14} {:>14}", "path", "obs/sec", "ms/window");
+
+    let (legacy, fast) = interleaved(
+        reps,
+        secs,
+        w as u64,
+        || {
+            let window = tracked.to_vec();
+            let relabeled = relabel(&window, &tree);
+            std::hint::black_box(extractor.extract(&relabeled, Some(&tree)));
+        },
+        || {
+            std::hint::black_box(engine.extract_tracked_repredicted(&tracked, &tree));
+        },
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.3}",
+        "legacy (to_vec + relabel)",
+        legacy.units_per_sec(),
+        legacy.secs_per_iter() * 1e3
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.3}",
+        "engine (tracked window)",
+        fast.units_per_sec(),
+        fast.secs_per_iter() * 1e3
+    );
+
+    let speedup = fast.units_per_sec() / legacy.units_per_sec();
+    println!("speedup: {speedup:.2}x");
+}

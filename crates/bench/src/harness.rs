@@ -1,10 +1,13 @@
 //! Shared experiment harness: CLI options, system construction, seed
-//! aggregation and stream truncation.
+//! aggregation, stream truncation and a std-only throughput timer.
+
+use std::time::Instant;
 
 use ficsum_baselines::{EnsembleSystem, FicsumSystem, Htcd, Rcd};
 use ficsum_core::{FicsumConfig, Variant};
 use ficsum_eval::{evaluate, EvaluatedSystem, RunResult};
-use ficsum_stream::{StreamSource, VecStream};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
+use ficsum_stream::{LabeledObservation, StreamSource, VecStream};
 use ficsum_synth::dataset_by_name;
 
 /// Common experiment options parsed from `std::env::args`.
@@ -162,6 +165,73 @@ pub fn run_framework(name: &str, framework: Framework, seed: u64, opts: &Options
 /// Extracts one metric across per-seed results.
 pub fn metric(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> Vec<f64> {
     results.iter().map(f).collect()
+}
+
+/// Result of one [`time_throughput`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Iterations actually timed (after warm-up).
+    pub iterations: u64,
+    /// Wall-clock seconds over those iterations.
+    pub seconds: f64,
+    /// Work units (e.g. observations) per iteration.
+    pub units_per_iter: u64,
+}
+
+impl Throughput {
+    /// Work units per second.
+    pub fn units_per_sec(&self) -> f64 {
+        self.units_per_iter as f64 * self.iterations as f64 / self.seconds
+    }
+
+    /// Mean wall-clock seconds per iteration.
+    pub fn secs_per_iter(&self) -> f64 {
+        self.seconds / self.iterations as f64
+    }
+}
+
+/// Std-only throughput timer (no external benchmark harness): runs `f` for
+/// a short warm-up, then repeatedly for at least `min_seconds` of wall
+/// clock, and reports iterations, elapsed time and derived rates.
+/// `units_per_iter` sets the work-unit denominator (observations per call,
+/// say) so results can be read as obs/sec.
+pub fn time_throughput(
+    min_seconds: f64,
+    units_per_iter: u64,
+    mut f: impl FnMut(),
+) -> Throughput {
+    // Warm-up: populate caches/scratch buffers and estimate per-call cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed().as_secs_f64() < min_seconds * 0.1 || warm_iters < 3 {
+        f();
+        warm_iters += 1;
+    }
+    let start = Instant::now();
+    let mut iterations = 0u64;
+    loop {
+        f();
+        iterations += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_seconds {
+            return Throughput { iterations, seconds: elapsed, units_per_iter };
+        }
+    }
+}
+
+/// Deterministic synthetic window for extraction benchmarks: `n`
+/// observations of `d` uniform features, binary labels correlated with the
+/// first feature and ~15% prediction errors.
+pub fn synthetic_window(n: usize, d: usize, seed: u64) -> Vec<LabeledObservation> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
+            let y = (x[0] > 0.5) as usize;
+            let pred = if rng.random_bool(0.15) { 1 - y } else { y };
+            LabeledObservation::new(x, y, pred)
+        })
+        .collect()
 }
 
 #[cfg(test)]

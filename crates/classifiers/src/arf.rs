@@ -8,14 +8,13 @@
 //! *drifts* (replace the tree with its background).
 
 use ficsum_drift::{Adwin, DetectorState, DriftDetector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 use crate::classifier::{argmax, normalize_or_uniform, Classifier};
 use crate::hoeffding::{HoeffdingTree, HoeffdingTreeConfig};
 
 /// Draws from Poisson(lambda) via Knuth's algorithm (fine for small lambda).
-fn poisson(lambda: f64, rng: &mut StdRng) -> usize {
+fn poisson(lambda: f64, rng: &mut Xoshiro256pp) -> usize {
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;
@@ -87,7 +86,7 @@ pub struct AdaptiveRandomForest {
     n_features: usize,
     n_classes: usize,
     n_trained: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl AdaptiveRandomForest {
@@ -99,7 +98,7 @@ impl AdaptiveRandomForest {
     /// Forest with explicit configuration.
     pub fn with_config(n_features: usize, n_classes: usize, config: ArfConfig) -> Self {
         assert!(config.n_trees > 0);
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let members = (0..config.n_trees)
             .map(|_| Self::fresh_member(n_features, n_classes, &config, &mut rng))
             .collect();
@@ -116,7 +115,7 @@ impl AdaptiveRandomForest {
         n_features: usize,
         n_classes: usize,
         config: &ArfConfig,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
     ) -> HoeffdingTree {
         let tree_config = HoeffdingTreeConfig {
             subspace: Some(Self::subspace_size(n_features, config)),
@@ -131,7 +130,7 @@ impl AdaptiveRandomForest {
         n_features: usize,
         n_classes: usize,
         config: &ArfConfig,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
     ) -> Member {
         Member {
             tree: Self::fresh_tree(n_features, n_classes, config, rng),
@@ -243,7 +242,7 @@ impl Classifier for AdaptiveRandomForest {
 mod tests {
     use super::*;
 
-    fn blob(rng: &mut StdRng) -> (Vec<f64>, usize) {
+    fn blob(rng: &mut Xoshiro256pp) -> (Vec<f64>, usize) {
         let y = rng.random_range(0..2usize);
         let x0 = if y == 0 { rng.random::<f64>() } else { 2.0 + rng.random::<f64>() };
         (vec![x0, rng.random()], y)
@@ -251,7 +250,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_close_to_lambda() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let n = 20_000;
         let total: usize = (0..n).map(|_| poisson(6.0, &mut rng)).sum();
         let mean = total as f64 / n as f64;
@@ -260,7 +259,7 @@ mod tests {
 
     #[test]
     fn learns_separable_concept() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut arf = AdaptiveRandomForest::with_config(
             2,
             2,
@@ -282,7 +281,7 @@ mod tests {
 
     #[test]
     fn adapts_to_label_flip() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut arf = AdaptiveRandomForest::with_config(
             2,
             2,
@@ -309,7 +308,7 @@ mod tests {
 
     #[test]
     fn reset_restores_untrained_state() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut arf = AdaptiveRandomForest::new(2, 2);
         for _ in 0..200 {
             let (x, y) = blob(&mut rng);

@@ -207,10 +207,9 @@ impl Classifier for DynamicWeightedMajority {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
-    fn blob(rng: &mut StdRng, flipped: bool) -> (Vec<f64>, usize) {
+    fn blob(rng: &mut Xoshiro256pp, flipped: bool) -> (Vec<f64>, usize) {
         let y = rng.random_range(0..2usize);
         let x0 = if y == 0 { rng.random::<f64>() } else { 2.0 + rng.random::<f64>() };
         (vec![x0, rng.random()], if flipped { 1 - y } else { y })
@@ -218,7 +217,7 @@ mod tests {
 
     #[test]
     fn learns_and_adapts() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
         let mut dwm =
             DynamicWeightedMajority::with_params(2, 2, ExpertKind::NaiveBayes, 0.5, 0.01, 50, 10);
         for _ in 0..1500 {
@@ -250,12 +249,12 @@ mod tests {
 
     #[test]
     fn expert_pool_is_bounded() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let mut dwm =
             DynamicWeightedMajority::with_params(1, 2, ExpertKind::NaiveBayes, 0.5, 0.01, 10, 4);
         // Pure noise keeps adding experts; pool must stay bounded.
         for _ in 0..2000 {
-            dwm.train(&[rng.random()], rng.random_range(0..2));
+            dwm.train(&[rng.random()], rng.random_range(0..2usize));
         }
         assert!(dwm.n_experts() <= 4);
         assert!(dwm.n_experts() >= 1);
@@ -263,7 +262,7 @@ mod tests {
 
     #[test]
     fn reset_shrinks_to_single_expert() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let mut dwm = DynamicWeightedMajority::new(2, 2);
         for _ in 0..500 {
             let (x, y) = blob(&mut rng, false);

@@ -1,8 +1,6 @@
 //! The Hoeffding tree (VFDT) learner.
 
-use rand::rngs::StdRng;
-use rand::seq::index::sample;
-use rand::SeedableRng;
+use ficsum_stream::rng::{sample_indices, Xoshiro256pp};
 
 use crate::classifier::{argmax, normalize_or_uniform, Classifier};
 use crate::hoeffding::observer::{entropy, normal_cdf, GaussianObserver};
@@ -110,7 +108,7 @@ pub struct HoeffdingTree {
     n_features: usize,
     n_classes: usize,
     n_trained: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     grew_since_taken: bool,
     n_splits: usize,
 }
@@ -125,7 +123,7 @@ impl HoeffdingTree {
     /// A tree with explicit hyper-parameters.
     pub fn with_config(n_features: usize, n_classes: usize, config: HoeffdingTreeConfig) -> Self {
         assert!(n_features > 0 && n_classes > 0);
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let root_leaf = Self::make_leaf(n_features, n_classes, &config, &mut rng, 0);
         Self {
             config,
@@ -144,11 +142,11 @@ impl HoeffdingTree {
         n_features: usize,
         n_classes: usize,
         config: &HoeffdingTreeConfig,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
         depth: usize,
     ) -> LeafData {
         let attrs: Vec<usize> = match config.subspace {
-            Some(k) if k < n_features => sample(rng, n_features, k).into_iter().collect(),
+            Some(k) if k < n_features => sample_indices(rng, n_features, k),
             _ => (0..n_features).collect(),
         };
         LeafData {
@@ -451,11 +449,10 @@ pub fn _cdf_for_tests(x: f64, mean: f64, std: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
     /// Two well-separated Gaussian blobs labelled by a threshold on x0.
-    fn blob_stream(rng: &mut StdRng, n: usize) -> Vec<(Vec<f64>, usize)> {
+    fn blob_stream(rng: &mut Xoshiro256pp, n: usize) -> Vec<(Vec<f64>, usize)> {
         (0..n)
             .map(|_| {
                 let y = rng.random_range(0..2usize);
@@ -468,7 +465,7 @@ mod tests {
 
     #[test]
     fn learns_threshold_concept() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let mut tree = HoeffdingTree::new(2, 2);
         for (x, y) in blob_stream(&mut rng, 3000) {
             tree.train(&x, y);
@@ -487,7 +484,7 @@ mod tests {
 
     #[test]
     fn growth_event_is_one_shot() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut tree = HoeffdingTree::new(2, 2);
         for (x, y) in blob_stream(&mut rng, 3000) {
             tree.train(&x, y);
@@ -498,7 +495,7 @@ mod tests {
 
     #[test]
     fn contributions_highlight_predictive_feature() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut tree = HoeffdingTree::new(2, 2);
         for (x, y) in blob_stream(&mut rng, 5000) {
             tree.train(&x, y);
@@ -534,7 +531,7 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let config = HoeffdingTreeConfig {
             max_depth: 1,
             grace_period: 50,
@@ -557,7 +554,7 @@ mod tests {
             grace_period: 30,
             ..HoeffdingTreeConfig::default()
         };
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut tree = HoeffdingTree::with_config(4, 2, config);
         for (x, y) in (0..500).map(|_| {
             let y = rng.random_range(0..2usize);
@@ -572,7 +569,7 @@ mod tests {
 
     #[test]
     fn reset_restores_blank_state() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let mut tree = HoeffdingTree::new(2, 2);
         for (x, y) in blob_stream(&mut rng, 2000) {
             tree.train(&x, y);
@@ -585,7 +582,7 @@ mod tests {
 
     #[test]
     fn multiclass_three_blobs() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut tree = HoeffdingTree::new(1, 3);
         for _ in 0..6000 {
             let y = rng.random_range(0..3usize);

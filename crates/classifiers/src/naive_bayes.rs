@@ -106,12 +106,11 @@ impl Classifier for GaussianNaiveBayes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
     #[test]
     fn separable_gaussians_are_learned() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let mut nb = GaussianNaiveBayes::new(2, 2);
         for _ in 0..500 {
             let (x0, x1): (f64, f64) = (rng.random(), rng.random());
@@ -132,11 +131,11 @@ mod tests {
 
     #[test]
     fn probabilities_sum_to_one() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let mut nb = GaussianNaiveBayes::new(3, 3);
         for _ in 0..100 {
             let x: [f64; 3] = [rng.random(), rng.random(), rng.random()];
-            nb.train(&x, rng.random_range(0..3));
+            nb.train(&x, rng.random_range(0..3usize));
         }
         let p = nb.predict_proba(&[0.2, 0.8, 0.5]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -6,8 +6,7 @@ use ficsum_classifiers::{
     AdaptiveRandomForest, Classifier, DynamicWeightedMajority, GaussianNaiveBayes, HoeffdingTree,
     MajorityClass,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 fn learners(d: usize, k: usize) -> Vec<Box<dyn Classifier>> {
     vec![
@@ -19,7 +18,7 @@ fn learners(d: usize, k: usize) -> Vec<Box<dyn Classifier>> {
     ]
 }
 
-fn blob(rng: &mut StdRng, k: usize) -> (Vec<f64>, usize) {
+fn blob(rng: &mut Xoshiro256pp, k: usize) -> (Vec<f64>, usize) {
     let y = rng.random_range(0..k);
     let x = vec![y as f64 * 2.0 + rng.random::<f64>(), rng.random()];
     (x, y)
@@ -28,7 +27,7 @@ fn blob(rng: &mut StdRng, k: usize) -> (Vec<f64>, usize) {
 #[test]
 fn every_learner_beats_chance_on_separable_blobs() {
     for mut clf in learners(2, 3) {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..1200 {
             let (x, y) = blob(&mut rng, 3);
             clf.train(&x, y);
@@ -48,7 +47,7 @@ fn every_learner_beats_chance_on_separable_blobs() {
 #[test]
 fn probabilities_are_distributions() {
     for mut clf in learners(2, 4) {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..300 {
             let (x, y) = blob(&mut rng, 4);
             clf.train(&x, y);
@@ -63,7 +62,7 @@ fn probabilities_are_distributions() {
 #[test]
 fn clone_box_preserves_predictions() {
     for mut clf in learners(2, 2) {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         for _ in 0..800 {
             let (x, y) = blob(&mut rng, 2);
             clf.train(&x, y);
@@ -79,7 +78,7 @@ fn clone_box_preserves_predictions() {
 #[test]
 fn reset_returns_to_untrained_state() {
     for mut clf in learners(2, 2) {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         for _ in 0..500 {
             let (x, y) = blob(&mut rng, 2);
             clf.train(&x, y);
@@ -100,7 +99,7 @@ fn dimensions_are_reported() {
 #[test]
 fn only_trees_expose_contributions_and_growth() {
     let mut tree = HoeffdingTree::new(2, 2);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     for _ in 0..2000 {
         let (x, y) = blob(&mut rng, 2);
         tree.train(&x, y);

@@ -1,4 +1,80 @@
-//! FiCSUM hyper-parameters.
+//! FiCSUM hyper-parameters and their validation.
+
+use std::fmt;
+
+/// A rejected [`FicsumConfig`] (or mismatched framework parts).
+///
+/// Returned by [`FicsumConfig::validate`] and propagated by
+/// `Ficsum::from_parts` / `FicsumBuilder::build` so callers can surface
+/// configuration mistakes instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `window_size` below the minimum of 10 observations.
+    WindowTooSmall,
+    /// `buffer_ratio` outside `(0, 2]`.
+    BufferRatioOutOfRange,
+    /// `fingerprint_gap` of zero.
+    ZeroFingerprintGap,
+    /// `repository_gap` of zero.
+    ZeroRepositoryGap,
+    /// `detector_delta` outside `(0, 1)`.
+    DetectorDeltaOutOfRange,
+    /// `accept_sigma` not positive.
+    NonPositiveAcceptSigma,
+    /// `sigma_floor` not positive.
+    NonPositiveSigmaFloor,
+    /// `sim_sigma_floor` not positive.
+    NonPositiveSimSigmaFloor,
+    /// `sim_alpha` outside `(0, 1]`.
+    SimAlphaOutOfRange,
+    /// `deviation_clamp` not exceeding 1.
+    DeviationClampTooSmall,
+    /// `hard_z` not exceeding 1.
+    HardZTooSmall,
+    /// `outlier_z` not exceeding 1.
+    OutlierZTooSmall,
+    /// `hard_consecutive` of zero.
+    ZeroHardConsecutive,
+    /// Extractor feature count disagreeing with the stream's feature count
+    /// (raised by `Ficsum::from_parts`).
+    FeatureCountMismatch {
+        /// Feature count declared for the stream.
+        stream: usize,
+        /// Feature count the extractor was built for.
+        extractor: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::WindowTooSmall => write!(f, "window_size must be at least 10"),
+            ConfigError::BufferRatioOutOfRange => write!(f, "buffer_ratio must be in (0, 2]"),
+            ConfigError::ZeroFingerprintGap => write!(f, "fingerprint_gap must be >= 1"),
+            ConfigError::ZeroRepositoryGap => write!(f, "repository_gap must be >= 1"),
+            ConfigError::DetectorDeltaOutOfRange => {
+                write!(f, "detector_delta must be in (0, 1)")
+            }
+            ConfigError::NonPositiveAcceptSigma => write!(f, "accept_sigma must be positive"),
+            ConfigError::NonPositiveSigmaFloor => write!(f, "sigma_floor must be positive"),
+            ConfigError::NonPositiveSimSigmaFloor => {
+                write!(f, "sim_sigma_floor must be positive")
+            }
+            ConfigError::SimAlphaOutOfRange => write!(f, "sim_alpha must be in (0, 1]"),
+            ConfigError::DeviationClampTooSmall => write!(f, "deviation_clamp must exceed 1"),
+            ConfigError::HardZTooSmall => write!(f, "hard_z must exceed 1"),
+            ConfigError::OutlierZTooSmall => write!(f, "outlier_z must exceed 1"),
+            ConfigError::ZeroHardConsecutive => write!(f, "hard_consecutive must be >= 1"),
+            ConfigError::FeatureCountMismatch { stream, extractor } => write!(
+                f,
+                "extractor built for {extractor} features but the stream has {stream}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Hyper-parameters of the FiCSUM framework (Algorithm 1).
 ///
@@ -110,30 +186,48 @@ impl FicsumConfig {
         ((self.window_size as f64 * self.buffer_ratio).ceil() as usize).max(1)
     }
 
-    /// Validates parameter sanity, panicking with a description otherwise.
-    pub fn validate(&self) {
-        assert!(self.window_size >= 10, "window_size must be at least 10");
-        assert!(
-            self.buffer_ratio > 0.0 && self.buffer_ratio <= 2.0,
-            "buffer_ratio must be in (0, 2]"
-        );
-        assert!(self.fingerprint_gap >= 1, "fingerprint_gap must be >= 1");
-        assert!(self.repository_gap >= 1, "repository_gap must be >= 1");
-        assert!(
-            self.detector_delta > 0.0 && self.detector_delta < 1.0,
-            "detector_delta must be in (0, 1)"
-        );
-        assert!(self.accept_sigma > 0.0, "accept_sigma must be positive");
-        assert!(self.sigma_floor > 0.0, "sigma_floor must be positive");
-        assert!(self.sim_sigma_floor > 0.0, "sim_sigma_floor must be positive");
-        assert!(
-            self.sim_alpha > 0.0 && self.sim_alpha <= 1.0,
-            "sim_alpha must be in (0, 1]"
-        );
-        assert!(self.deviation_clamp > 1.0, "deviation_clamp must exceed 1");
-        assert!(self.hard_z > 1.0, "hard_z must exceed 1");
-        assert!(self.outlier_z > 1.0, "outlier_z must exceed 1");
-        assert!(self.hard_consecutive >= 1, "hard_consecutive must be >= 1");
+    /// Validates parameter sanity, reporting the first violated invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_size < 10 {
+            return Err(ConfigError::WindowTooSmall);
+        }
+        if !(self.buffer_ratio > 0.0 && self.buffer_ratio <= 2.0) {
+            return Err(ConfigError::BufferRatioOutOfRange);
+        }
+        if self.fingerprint_gap < 1 {
+            return Err(ConfigError::ZeroFingerprintGap);
+        }
+        if self.repository_gap < 1 {
+            return Err(ConfigError::ZeroRepositoryGap);
+        }
+        if !(self.detector_delta > 0.0 && self.detector_delta < 1.0) {
+            return Err(ConfigError::DetectorDeltaOutOfRange);
+        }
+        if !(self.accept_sigma > 0.0) {
+            return Err(ConfigError::NonPositiveAcceptSigma);
+        }
+        if !(self.sigma_floor > 0.0) {
+            return Err(ConfigError::NonPositiveSigmaFloor);
+        }
+        if !(self.sim_sigma_floor > 0.0) {
+            return Err(ConfigError::NonPositiveSimSigmaFloor);
+        }
+        if !(self.sim_alpha > 0.0 && self.sim_alpha <= 1.0) {
+            return Err(ConfigError::SimAlphaOutOfRange);
+        }
+        if !(self.deviation_clamp > 1.0) {
+            return Err(ConfigError::DeviationClampTooSmall);
+        }
+        if !(self.hard_z > 1.0) {
+            return Err(ConfigError::HardZTooSmall);
+        }
+        if !(self.outlier_z > 1.0) {
+            return Err(ConfigError::OutlierZTooSmall);
+        }
+        if self.hard_consecutive < 1 {
+            return Err(ConfigError::ZeroHardConsecutive);
+        }
+        Ok(())
     }
 }
 
@@ -149,18 +243,57 @@ mod tests {
         assert_eq!(c.repository_gap, 25);
         assert!((c.buffer_ratio - 0.25).abs() < 1e-12);
         assert_eq!(c.buffer_delay(), 19); // ceil(75 * 0.25)
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    /// Every invalid-config arm maps to its dedicated error variant.
+    #[test]
+    fn each_invalid_arm_reports_its_error() {
+        let base = FicsumConfig::default;
+        let cases: Vec<(FicsumConfig, ConfigError)> = vec![
+            (FicsumConfig { window_size: 2, ..base() }, ConfigError::WindowTooSmall),
+            (FicsumConfig { buffer_ratio: 0.0, ..base() }, ConfigError::BufferRatioOutOfRange),
+            (FicsumConfig { buffer_ratio: 2.5, ..base() }, ConfigError::BufferRatioOutOfRange),
+            (
+                FicsumConfig { buffer_ratio: f64::NAN, ..base() },
+                ConfigError::BufferRatioOutOfRange,
+            ),
+            (FicsumConfig { fingerprint_gap: 0, ..base() }, ConfigError::ZeroFingerprintGap),
+            (FicsumConfig { repository_gap: 0, ..base() }, ConfigError::ZeroRepositoryGap),
+            (
+                FicsumConfig { detector_delta: 0.0, ..base() },
+                ConfigError::DetectorDeltaOutOfRange,
+            ),
+            (
+                FicsumConfig { detector_delta: 1.0, ..base() },
+                ConfigError::DetectorDeltaOutOfRange,
+            ),
+            (FicsumConfig { accept_sigma: 0.0, ..base() }, ConfigError::NonPositiveAcceptSigma),
+            (FicsumConfig { sigma_floor: -1.0, ..base() }, ConfigError::NonPositiveSigmaFloor),
+            (
+                FicsumConfig { sim_sigma_floor: 0.0, ..base() },
+                ConfigError::NonPositiveSimSigmaFloor,
+            ),
+            (FicsumConfig { sim_alpha: 0.0, ..base() }, ConfigError::SimAlphaOutOfRange),
+            (FicsumConfig { sim_alpha: 1.5, ..base() }, ConfigError::SimAlphaOutOfRange),
+            (
+                FicsumConfig { deviation_clamp: 1.0, ..base() },
+                ConfigError::DeviationClampTooSmall,
+            ),
+            (FicsumConfig { hard_z: 0.5, ..base() }, ConfigError::HardZTooSmall),
+            (FicsumConfig { outlier_z: 1.0, ..base() }, ConfigError::OutlierZTooSmall),
+            (FicsumConfig { hard_consecutive: 0, ..base() }, ConfigError::ZeroHardConsecutive),
+        ];
+        for (config, expected) in cases {
+            assert_eq!(config.validate(), Err(expected), "{expected:?}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "window_size")]
-    fn tiny_window_rejected() {
-        FicsumConfig { window_size: 2, ..FicsumConfig::default() }.validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "buffer_ratio")]
-    fn zero_buffer_rejected() {
-        FicsumConfig { buffer_ratio: 0.0, ..FicsumConfig::default() }.validate();
+    fn errors_display_a_description() {
+        let msg = ConfigError::WindowTooSmall.to_string();
+        assert!(msg.contains("window_size"), "{msg}");
+        let msg = ConfigError::FeatureCountMismatch { stream: 3, extractor: 5 }.to_string();
+        assert!(msg.contains('3') && msg.contains('5'), "{msg}");
     }
 }

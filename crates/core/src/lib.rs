@@ -29,9 +29,9 @@ pub mod similarity;
 pub mod variant;
 pub mod weights;
 
-pub use config::FicsumConfig;
+pub use config::{ConfigError, FicsumConfig};
 pub use fingerprint::{ConceptFingerprint, FingerprintNormalizer};
-pub use framework::{Ficsum, StepOutcome};
+pub use framework::{Ficsum, FicsumStats, StepOutcome};
 pub use repository::{ConceptEntry, ConceptId, Repository};
 pub use similarity::{cosine, fingerprint_similarity, weighted_cosine};
 pub use variant::{FicsumBuilder, Variant};

@@ -3,7 +3,7 @@
 use ficsum_classifiers::{Classifier, ClassifierFactory, HoeffdingTree};
 use ficsum_meta::{FingerprintExtractor, MetaFunction, SourceSelection};
 
-use crate::config::FicsumConfig;
+use crate::config::{ConfigError, FicsumConfig};
 use crate::framework::Ficsum;
 
 /// Which meta-information configuration to fingerprint with.
@@ -98,7 +98,11 @@ impl FicsumBuilder {
     }
 
     /// Builds the framework instance.
-    pub fn build(self) -> Ficsum {
+    ///
+    /// Fails with a [`ConfigError`] if the hyper-parameters are invalid
+    /// (see [`FicsumConfig::validate`]) or the variant's extractor disagrees
+    /// with the stream's feature count.
+    pub fn build(self) -> Result<Ficsum, ConfigError> {
         let (nf, nc) = (self.n_features, self.n_classes);
         let factory = self.factory.unwrap_or_else(|| {
             Box::new(move || Box::new(HoeffdingTree::new(nf, nc)) as Box<dyn Classifier>)
@@ -139,7 +143,7 @@ mod tests {
     #[test]
     fn builder_produces_runnable_instances() {
         for v in [Variant::Full, Variant::ErrorRate, Variant::Supervised, Variant::Unsupervised] {
-            let mut f = FicsumBuilder::new(2, 2).variant(v).build();
+            let mut f = FicsumBuilder::new(2, 2).variant(v).build().unwrap();
             for i in 0..100 {
                 f.process(&[i as f64 * 0.01, 0.5], i % 2);
             }

@@ -25,7 +25,7 @@ fn stagger_gens(n: usize) -> Vec<Box<dyn ConceptGenerator>> {
 
 #[test]
 fn alternating_concepts_produce_drifts_and_bounded_fragmentation() {
-    let mut system = FicsumBuilder::new(3, 2).config(quick()).build();
+    let mut system = FicsumBuilder::new(3, 2).config(quick()).build().unwrap();
     let mut gens = stagger_gens(2);
     for seg in 0..10 {
         let g = &mut gens[seg % 2];
@@ -64,7 +64,7 @@ fn unsupervised_variant_sees_pure_feature_drift() {
         .collect();
     let mut gens = gens;
     let mut system =
-        FicsumBuilder::new(4, 2).variant(Variant::Unsupervised).config(quick()).build();
+        FicsumBuilder::new(4, 2).variant(Variant::Unsupervised).config(quick()).build().unwrap();
     for seg in 0..6 {
         let g = &mut gens[seg % 2];
         g.restart_segment();
@@ -83,7 +83,7 @@ fn unsupervised_variant_sees_pure_feature_drift() {
 #[test]
 fn disabling_second_check_is_respected() {
     let config = FicsumConfig { second_check: false, ..quick() };
-    let mut system = FicsumBuilder::new(3, 2).config(config).build();
+    let mut system = FicsumBuilder::new(3, 2).config(config).build().unwrap();
     let mut gens = stagger_gens(3);
     for seg in 0..9 {
         let g = &mut gens[seg % 3];
@@ -97,7 +97,7 @@ fn disabling_second_check_is_respected() {
 
 #[test]
 fn weights_adapt_away_from_uniform_once_repository_exists() {
-    let mut system = FicsumBuilder::new(3, 2).config(quick()).build();
+    let mut system = FicsumBuilder::new(3, 2).config(quick()).build().unwrap();
     let mut gens = stagger_gens(2);
     for seg in 0..6 {
         let g = &mut gens[seg % 2];

@@ -259,12 +259,11 @@ impl DriftDetector for Adwin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
     #[test]
     fn stable_stream_rarely_alarms() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut adwin = Adwin::new(0.002);
         let mut drifts = 0;
         for _ in 0..5000 {
@@ -279,7 +278,7 @@ mod tests {
 
     #[test]
     fn abrupt_shift_is_detected_quickly() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let mut adwin = Adwin::new(0.002);
         for _ in 0..1000 {
             adwin.add(rng.random::<f64>() * 0.2);
@@ -313,7 +312,7 @@ mod tests {
 
     #[test]
     fn gradual_drift_shrinks_window() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut adwin = Adwin::new(0.002);
         for i in 0..4000 {
             let level = if i < 2000 { 0.2 } else { 0.2 + (i - 2000) as f64 * 0.0005 };
@@ -344,7 +343,7 @@ mod tests {
 
     #[test]
     fn variance_maintenance_is_exact_under_compression() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
         let mut adwin = Adwin::new(1e-9); // effectively never cut
         let mut values = Vec::new();
         for _ in 0..777 {

@@ -102,10 +102,9 @@ impl DriftDetector for HddmA {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
-    fn feed(d: &mut HddmA, rng: &mut StdRng, p: f64, n: usize) -> Option<usize> {
+    fn feed(d: &mut HddmA, rng: &mut Xoshiro256pp, p: f64, n: usize) -> Option<usize> {
         for i in 0..n {
             let err = if rng.random::<f64>() < p { 1.0 } else { 0.0 };
             if d.add(err) == DetectorState::Drift {
@@ -117,7 +116,7 @@ mod tests {
 
     #[test]
     fn detects_mean_increase() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         let mut h = HddmA::default();
         assert!(feed(&mut h, &mut rng, 0.1, 2000).is_none());
         let at = feed(&mut h, &mut rng, 0.5, 2000).expect("increase must fire");
@@ -126,14 +125,14 @@ mod tests {
 
     #[test]
     fn no_alarm_on_stationary() {
-        let mut rng = StdRng::seed_from_u64(18);
+        let mut rng = Xoshiro256pp::seed_from_u64(18);
         let mut h = HddmA::default();
         assert!(feed(&mut h, &mut rng, 0.2, 10_000).is_none());
     }
 
     #[test]
     fn decrease_does_not_alarm() {
-        let mut rng = StdRng::seed_from_u64(19);
+        let mut rng = Xoshiro256pp::seed_from_u64(19);
         let mut h = HddmA::default();
         feed(&mut h, &mut rng, 0.5, 2000);
         assert!(feed(&mut h, &mut rng, 0.05, 2000).is_none());

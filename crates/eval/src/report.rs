@@ -1,16 +1,14 @@
-//! Machine-readable experiment reports (serde/JSON export).
+//! Machine-readable experiment reports (JSON export).
 //!
 //! Experiment binaries print human tables; this module additionally lets
 //! harness code persist structured results so downstream tooling (plots,
 //! regression tracking) can consume them without re-parsing text.
 
-use serde::{Deserialize, Serialize};
-
 use crate::runner::RunResult;
 use crate::stats::mean_std;
 
 /// One (dataset, system) cell aggregated over seeds.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// Dataset name.
     pub dataset: String,
@@ -54,7 +52,7 @@ impl CellReport {
 }
 
 /// A full experiment report (one table's worth of cells).
-#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment identifier, e.g. `"table4"`.
     pub experiment: String,
@@ -76,7 +74,7 @@ impl ExperimentReport {
     }
 
     /// Serialises to a JSON string (hand-rolled: the workspace deliberately
-    /// avoids a JSON dependency; serde derives remain for downstream users).
+    /// avoids a JSON dependency).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(

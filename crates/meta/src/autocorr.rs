@@ -46,11 +46,10 @@ pub fn partial_autocorrelation(xs: &[f64], lag: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
     fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut xs = Vec::with_capacity(n);
         let mut prev = 0.0;
         for _ in 0..n {

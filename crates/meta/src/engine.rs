@@ -1,0 +1,722 @@
+//! The fingerprint engine: incremental, allocation-free, optionally
+//! parallel meta-feature extraction.
+//!
+//! [`FingerprintExtractor::extract`] is a faithful but naive transcription
+//! of the paper: every call materialises one `Vec` per behaviour source,
+//! re-derives the four moment statistics with separate passes, and lets the
+//! EMD sifting loop allocate freely. That is fine for a one-off fingerprint
+//! but FiCSUM fingerprints *constantly* — every fingerprint gap, every
+//! repository comparison, every recheck.
+//!
+//! [`FingerprintEngine`] wraps an extractor and reuses all working memory
+//! across calls:
+//!
+//! * **Cached source-sequence pass** — the window is materialised once into
+//!   per-source scratch buffers shared by every meta-function; repeated
+//!   extraction allocates nothing after warm-up (EMD, MI histograms and
+//!   spline fitting included).
+//! * **Fused moments** — mean, standard deviation, skew and kurtosis come
+//!   from a single two-pass sweep instead of nine, with bit-identical
+//!   results to the batch functions. When extracting from a
+//!   [`TrackedWindow`], the feature and label moment dimensions instead
+//!   read the window's incrementally maintained [`Moments`]
+//!   (`O(1)` per observation rather than `O(window)` per fingerprint).
+//! * **Opt-in parallelism** — [`FingerprintEngine::set_threads`] fans the
+//!   `d + 4` behaviour sources across a [`std::thread::scope`] worker pool.
+//!   Each source's computation is independent and writes a disjoint slice
+//!   of the output, so parallel extraction is bit-identical to sequential.
+//!
+//! The legacy [`FingerprintExtractor::extract`] path is kept untouched: it
+//! is the reference the engine is tested against, and the baseline for the
+//! throughput comparison in `ficsum-bench`.
+
+use ficsum_classifiers::Classifier;
+use ficsum_stream::{LabeledObservation, Moments, TrackedWindow};
+
+use crate::autocorr::{autocorrelation, partial_autocorrelation};
+use crate::emd::{imf_entropies_scratch, EmdConfig, EmdScratch};
+use crate::extractor::{FingerprintExtractor, FingerprintSchema};
+use crate::functions::{turning_point_rate, MetaFunction};
+use crate::mutual_info::{lagged_mutual_information_scratch, MiScratch};
+use crate::sources::{behaviour_sources, SourceKind};
+
+/// Moment statistics pre-computed by a [`TrackedWindow`]; substituted for
+/// the batch moment sweep on sources whose membership the window tracks.
+#[derive(Debug, Clone, Copy)]
+struct TrackedVals {
+    mean: f64,
+    std_dev: f64,
+    skewness: f64,
+    kurtosis: f64,
+}
+
+impl TrackedVals {
+    fn from_moments(m: &Moments) -> Self {
+        Self {
+            mean: m.mean(),
+            std_dev: m.std_dev(),
+            skewness: m.skewness(),
+            kurtosis: m.kurtosis(),
+        }
+    }
+}
+
+/// Per-worker scratch: everything one behaviour source needs.
+#[derive(Debug, Clone, Default)]
+struct SourceScratch {
+    emd: EmdScratch,
+    mi: MiScratch,
+}
+
+/// Reusable, optionally parallel fingerprint extraction.
+///
+/// Wraps a [`FingerprintExtractor`] configuration and produces the same
+/// fingerprints through [`FingerprintEngine::extract`] — allocation-free
+/// after warm-up, and bit-identical to the legacy path. See the module
+/// docs for the full design.
+#[derive(Debug, Clone)]
+pub struct FingerprintEngine {
+    extractor: FingerprintExtractor,
+    /// Selected behaviour sources in schema order (empty when the extractor
+    /// is importance-only).
+    kinds: Vec<SourceKind>,
+    /// Worker threads for the per-source fan-out; 1 = sequential.
+    threads: usize,
+    /// Whether the tracked-window entry points may substitute incremental
+    /// moments for the batch sweep (off by default: bit-exact batch).
+    incremental_moments: bool,
+    /// One cached sequence buffer per selected source.
+    seqs: Vec<Vec<f64>>,
+    /// Tracked moment substitutes, aligned with `kinds` (`None` = batch).
+    tracked: Vec<Option<TrackedVals>>,
+    /// Re-predicted labels for [`FingerprintEngine::extract_repredicted`].
+    preds: Vec<usize>,
+    workers: Vec<SourceScratch>,
+}
+
+impl FingerprintEngine {
+    /// Sequential engine around `extractor`.
+    pub fn new(extractor: FingerprintExtractor) -> Self {
+        let kinds = if extractor.functions().is_empty() {
+            Vec::new()
+        } else {
+            behaviour_sources(extractor.n_features())
+                .into_iter()
+                .filter(|&k| extractor.sources().includes(k))
+                .collect()
+        };
+        let n_sources = kinds.len();
+        Self {
+            extractor,
+            kinds,
+            threads: 1,
+            incremental_moments: false,
+            seqs: vec![Vec::new(); n_sources],
+            tracked: Vec::new(),
+            preds: Vec::new(),
+            workers: vec![SourceScratch::default()],
+        }
+    }
+
+    /// Builder-style thread-count override; see
+    /// [`FingerprintEngine::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the number of worker threads the per-source fan-out may use.
+    /// `0` and `1` both mean sequential. Parallel extraction is guaranteed
+    /// bit-identical to sequential: sources are computed by identical code
+    /// on disjoint output slices, whichever thread runs them.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker-thread setting.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Builder-style variant of
+    /// [`FingerprintEngine::set_incremental_moments`].
+    pub fn with_incremental_moments(mut self, on: bool) -> Self {
+        self.set_incremental_moments(on);
+        self
+    }
+
+    /// Lets the tracked-window entry points source the four moment features
+    /// (mean, standard deviation, skew, kurtosis) of feature and label
+    /// sequences from the window's incremental [`Moments`] — O(1) per
+    /// observation instead of a per-extraction sweep. The substituted values
+    /// agree with the batch sweep to ≤ 1e-9 relative but are *not*
+    /// bit-identical, so this is off by default: drift-detection
+    /// trajectories are feedback loops in which any numeric difference can
+    /// compound.
+    pub fn set_incremental_moments(&mut self, on: bool) {
+        self.incremental_moments = on;
+    }
+
+    /// Whether incremental moment substitution is enabled.
+    pub fn incremental_moments(&self) -> bool {
+        self.incremental_moments
+    }
+
+    /// The wrapped configuration.
+    pub fn extractor(&self) -> &FingerprintExtractor {
+        &self.extractor
+    }
+
+    /// The vector layout produced by extraction (same as the extractor's).
+    pub fn schema(&self) -> &FingerprintSchema {
+        self.extractor.schema()
+    }
+
+    /// Number of input features the engine was built for.
+    pub fn n_features(&self) -> usize {
+        self.extractor.n_features()
+    }
+
+    /// Drop-in equivalent of [`FingerprintExtractor::extract`]; see
+    /// [`FingerprintEngine::extract_into`].
+    pub fn extract(
+        &mut self,
+        window: &[LabeledObservation],
+        classifier: Option<&dyn Classifier>,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.extract_into(window, classifier, &mut out);
+        out
+    }
+
+    /// Computes the raw fingerprint of `window` into `out` (cleared first),
+    /// reusing the engine's scratch buffers. Produces bit-identical values
+    /// to [`FingerprintExtractor::extract`] on the same window.
+    pub fn extract_into(
+        &mut self,
+        window: &[LabeledObservation],
+        classifier: Option<&dyn Classifier>,
+        out: &mut Vec<f64>,
+    ) {
+        self.tracked.clear();
+        self.run(window.iter(), classifier, false, out);
+    }
+
+    /// Extracts the fingerprint `window` would have under `classifier`'s
+    /// *current* predictions: every observation is re-predicted and the
+    /// prediction-dependent sources (predictions, errors, error distances)
+    /// are built from those fresh labels. Equivalent to cloning the window,
+    /// overwriting each `prediction`, and extracting — without the clone.
+    pub fn extract_repredicted(
+        &mut self,
+        window: &[LabeledObservation],
+        classifier: &dyn Classifier,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.extract_repredicted_into(window, classifier, &mut out);
+        out
+    }
+
+    /// [`FingerprintEngine::extract_repredicted`] writing into `out`.
+    pub fn extract_repredicted_into(
+        &mut self,
+        window: &[LabeledObservation],
+        classifier: &dyn Classifier,
+        out: &mut Vec<f64>,
+    ) {
+        self.tracked.clear();
+        self.run(window.iter(), Some(classifier), true, out);
+    }
+
+    /// Extracts from a [`TrackedWindow`] without copying it out. When
+    /// [`FingerprintEngine::set_incremental_moments`] is enabled, the
+    /// feature and label moment dimensions come from the window's
+    /// incremental [`Moments`] instead of a batch sweep (≤ 1e-9 relative
+    /// difference); otherwise the result is bit-identical to
+    /// [`FingerprintEngine::extract`] on the same observations.
+    pub fn extract_tracked(
+        &mut self,
+        window: &TrackedWindow,
+        classifier: Option<&dyn Classifier>,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_tracked_vals(window);
+        self.run(window.iter(), classifier, false, &mut out);
+        out
+    }
+
+    /// [`FingerprintEngine::extract_tracked`] with re-prediction, the
+    /// framework's hot path: fingerprint the current window as seen by an
+    /// arbitrary classifier, with no window clone and O(1) moment updates.
+    pub fn extract_tracked_repredicted(
+        &mut self,
+        window: &TrackedWindow,
+        classifier: &dyn Classifier,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_tracked_vals(window);
+        self.run(window.iter(), Some(classifier), true, &mut out);
+        out
+    }
+
+    /// Populates the tracked-moment substitutes for window-membership
+    /// sources (features and labels; prediction-dependent sources cannot be
+    /// tracked because they change with the classifier). A no-op unless
+    /// incremental moments are enabled — an empty `tracked` vector means
+    /// every source takes the batch path.
+    fn fill_tracked_vals(&mut self, window: &TrackedWindow) {
+        debug_assert!(window.n_features() >= self.extractor.n_features());
+        self.tracked.clear();
+        if !self.incremental_moments {
+            return;
+        }
+        for &kind in &self.kinds {
+            self.tracked.push(match kind {
+                SourceKind::Feature(j) => {
+                    Some(TrackedVals::from_moments(window.feature_moments(j)))
+                }
+                SourceKind::Labels => Some(TrackedVals::from_moments(window.label_moments())),
+                _ => None,
+            });
+        }
+    }
+
+    /// Shared extraction core over any window iterator.
+    fn run<'a, I>(
+        &mut self,
+        obs: I,
+        classifier: Option<&dyn Classifier>,
+        repredict: bool,
+        out: &mut Vec<f64>,
+    ) where
+        I: Iterator<Item = &'a LabeledObservation> + Clone,
+    {
+        let use_preds = if repredict {
+            let clf = classifier.expect("re-predicted extraction requires a classifier");
+            self.preds.clear();
+            self.preds.extend(obs.clone().map(|o| clf.predict(o.features())));
+            true
+        } else {
+            false
+        };
+        self.fill_sequences(obs.clone(), use_preds);
+        out.clear();
+        out.resize(self.extractor.schema().len(), 0.0);
+        let src_len = self.kinds.len() * self.extractor.functions().len();
+        self.eval_sources(&mut out[..src_len]);
+        if self.extractor.includes_feature_importance() {
+            let n_features = self.extractor.n_features();
+            let tail = out.len() - n_features;
+            let importance = &mut out[tail..];
+            if let Some(clf) = classifier {
+                let mut counted = 0usize;
+                for o in obs.clone() {
+                    if let Some(contrib) = clf.feature_contributions(o.features()) {
+                        for (acc, c) in importance.iter_mut().zip(contrib) {
+                            *acc += c.abs();
+                        }
+                        counted += 1;
+                    }
+                }
+                if counted > 0 {
+                    for acc in importance.iter_mut() {
+                        *acc /= counted as f64;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.extractor.schema().len());
+    }
+
+    /// The cached source-sequence pass: materialises every selected
+    /// behaviour source into its scratch buffer, optionally substituting
+    /// re-predicted labels for the prediction-dependent sources.
+    fn fill_sequences<'a, I>(&mut self, obs: I, use_preds: bool)
+    where
+        I: Iterator<Item = &'a LabeledObservation> + Clone,
+    {
+        let preds = if use_preds { Some(self.preds.as_slice()) } else { None };
+        for (seq, &kind) in self.seqs.iter_mut().zip(self.kinds.iter()) {
+            seq.clear();
+            match kind {
+                SourceKind::Feature(j) => seq.extend(obs.clone().map(|o| o.features()[j])),
+                SourceKind::Labels => seq.extend(obs.clone().map(|o| o.label() as f64)),
+                SourceKind::Predictions => match preds {
+                    Some(p) => seq.extend(p.iter().map(|&v| v as f64)),
+                    None => seq.extend(obs.clone().map(|o| o.prediction as f64)),
+                },
+                SourceKind::Errors => match preds {
+                    Some(p) => seq.extend(
+                        obs.clone()
+                            .zip(p)
+                            .map(|(o, &pr)| if pr != o.label() { 1.0 } else { 0.0 }),
+                    ),
+                    None => {
+                        seq.extend(obs.clone().map(|o| if o.is_error() { 1.0 } else { 0.0 }))
+                    }
+                },
+                SourceKind::ErrorDistances => {
+                    let mut last: Option<usize> = None;
+                    for (i, o) in obs.clone().enumerate() {
+                        let err = match preds {
+                            Some(p) => p[i] != o.label(),
+                            None => o.is_error(),
+                        };
+                        if err {
+                            if let Some(prev) = last {
+                                seq.push((i - prev) as f64);
+                            }
+                            last = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates every (source, function) dimension into `out`, fanning
+    /// sources across the worker pool when `threads > 1`.
+    fn eval_sources(&mut self, out: &mut [f64]) {
+        let functions = self.extractor.functions();
+        let nf = functions.len();
+        if nf == 0 || self.kinds.is_empty() {
+            return;
+        }
+        let needs_emd = functions
+            .iter()
+            .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
+        let emd_cfg = *self.extractor.emd_config();
+        let mi_bins = self.extractor.mi_bins();
+        let tracked = &self.tracked;
+        let seqs = &self.seqs;
+        let tracked_of = |i: usize| tracked.get(i).copied().flatten();
+        let n_workers = self.threads.min(self.kinds.len());
+        if n_workers <= 1 {
+            if self.workers.is_empty() {
+                self.workers.push(SourceScratch::default());
+            }
+            let worker = &mut self.workers[0];
+            for (i, (seq, chunk)) in seqs.iter().zip(out.chunks_mut(nf)).enumerate() {
+                eval_source_into(
+                    seq,
+                    functions,
+                    needs_emd,
+                    &emd_cfg,
+                    mi_bins,
+                    tracked_of(i),
+                    worker,
+                    chunk,
+                );
+            }
+        } else {
+            if self.workers.len() < n_workers {
+                self.workers.resize_with(n_workers, SourceScratch::default);
+            }
+            // Round-robin the sources over the workers; each work item owns
+            // a disjoint slice of `out`, so no synchronisation is needed and
+            // the result cannot depend on scheduling.
+            let mut batches: Vec<Vec<(&[f64], Option<TrackedVals>, &mut [f64])>> =
+                (0..n_workers).map(|_| Vec::new()).collect();
+            for (i, (seq, chunk)) in seqs.iter().zip(out.chunks_mut(nf)).enumerate() {
+                batches[i % n_workers].push((seq, tracked_of(i), chunk));
+            }
+            std::thread::scope(|scope| {
+                for (worker, batch) in self.workers.iter_mut().zip(batches) {
+                    scope.spawn(move || {
+                        for (seq, tv, chunk) in batch {
+                            eval_source_into(
+                                seq, functions, needs_emd, &emd_cfg, mi_bins, tv, worker, chunk,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Evaluates one behaviour source's function block into `out`
+/// (`out.len() == functions.len()`).
+///
+/// The moment statistics come from a fused two-pass sweep (or the tracked
+/// substitutes); the remaining functions run on the cached sequence with
+/// scratch-backed EMD and MI. Every value is bit-identical to the
+/// corresponding [`FingerprintExtractor::extract`] dimension.
+#[allow(clippy::too_many_arguments)]
+fn eval_source_into(
+    seq: &[f64],
+    functions: &[MetaFunction],
+    needs_emd: bool,
+    emd_cfg: &EmdConfig,
+    mi_bins: usize,
+    tracked: Option<TrackedVals>,
+    scratch: &mut SourceScratch,
+    out: &mut [f64],
+) {
+    let imf = if needs_emd {
+        Some(imf_entropies_scratch(seq, emd_cfg, &mut scratch.emd))
+    } else {
+        None
+    };
+    let n = seq.len();
+    let needs_moments = tracked.is_none()
+        && functions.iter().any(|f| {
+            matches!(
+                f,
+                MetaFunction::Mean
+                    | MetaFunction::StdDev
+                    | MetaFunction::Skew
+                    | MetaFunction::Kurtosis
+            )
+        });
+    let mut mean_v = 0.0;
+    let (mut cm2, mut cm3, mut cm4) = (0.0, 0.0, 0.0);
+    if needs_moments && n > 0 {
+        let nf = n as f64;
+        mean_v = seq.iter().sum::<f64>() / nf;
+        let (mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0);
+        for &x in seq {
+            let d = x - mean_v;
+            let d2 = d * d;
+            s2 += d2;
+            s3 += d2 * d;
+            s4 += d2 * d2;
+        }
+        cm2 = s2 / nf;
+        cm3 = s3 / nf;
+        cm4 = s4 / nf;
+    }
+    for (slot, &function) in out.iter_mut().zip(functions) {
+        *slot = match function {
+            MetaFunction::Mean => match tracked {
+                Some(t) => t.mean,
+                None => {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        mean_v
+                    }
+                }
+            },
+            MetaFunction::StdDev => match tracked {
+                Some(t) => t.std_dev,
+                None => {
+                    if n < 2 {
+                        0.0
+                    } else {
+                        cm2.sqrt()
+                    }
+                }
+            },
+            MetaFunction::Skew => match tracked {
+                Some(t) => t.skewness,
+                None => {
+                    if n < 3 || cm2 <= f64::EPSILON {
+                        0.0
+                    } else {
+                        cm3 / cm2.powf(1.5)
+                    }
+                }
+            },
+            MetaFunction::Kurtosis => match tracked {
+                Some(t) => t.kurtosis,
+                None => {
+                    if n < 4 || cm2 <= f64::EPSILON {
+                        0.0
+                    } else {
+                        cm4 / (cm2 * cm2) - 3.0
+                    }
+                }
+            },
+            MetaFunction::Acf1 => autocorrelation(seq, 1),
+            MetaFunction::Acf2 => autocorrelation(seq, 2),
+            MetaFunction::Pacf1 => partial_autocorrelation(seq, 1),
+            MetaFunction::Pacf2 => partial_autocorrelation(seq, 2),
+            MetaFunction::MutualInformation => {
+                lagged_mutual_information_scratch(seq, 1, mi_bins, &mut scratch.mi)
+            }
+            MetaFunction::TurningPointRate => turning_point_rate(seq),
+            MetaFunction::ImfEntropy1 => imf.map_or(0.0, |(a, _)| a),
+            MetaFunction::ImfEntropy2 => imf.map_or(0.0, |(_, b)| b),
+            MetaFunction::FeatureImportance => {
+                unreachable!("feature importance is not a sequence function")
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::SourceSelection;
+    use ficsum_classifiers::HoeffdingTree;
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
+
+    fn window(rng: &mut Xoshiro256pp, n: usize, d: usize, classes: usize) -> Vec<LabeledObservation> {
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+                let y = rng.random_range(0..classes);
+                let l = rng.random_range(0..classes);
+                LabeledObservation::new(x, y, l)
+            })
+            .collect()
+    }
+
+    fn trained_tree(rng: &mut Xoshiro256pp, d: usize) -> HoeffdingTree {
+        let mut tree = HoeffdingTree::new(d, 2);
+        for _ in 0..2000 {
+            let y = rng.random_range(0..2usize);
+            let mut x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
+            x[0] += 2.0 * y as f64;
+            tree.train(&x, y);
+        }
+        tree
+    }
+
+    #[test]
+    fn engine_matches_legacy_extractor_exactly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let ex = FingerprintExtractor::full(4);
+        let mut engine = FingerprintEngine::new(ex.clone());
+        let tree = trained_tree(&mut rng, 4);
+        for trial in 0..5 {
+            let w = window(&mut rng, 40 + trial * 17, 4, 2);
+            let legacy = ex.extract(&w, Some(&tree));
+            let fast = engine.extract(&w, Some(&tree));
+            assert_eq!(legacy, fast, "trial {trial}: engine must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_ablation_variants() {
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let variants = [
+            FingerprintExtractor::error_rate_only(3),
+            FingerprintExtractor::single_function(3, MetaFunction::Skew),
+            FingerprintExtractor::single_function(3, MetaFunction::FeatureImportance),
+            FingerprintExtractor::new(
+                3,
+                MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+                SourceSelection::unsupervised_only(),
+                false,
+            ),
+            FingerprintExtractor::new(
+                3,
+                MetaFunction::SEQUENCE_FUNCTIONS.to_vec(),
+                SourceSelection::supervised_only(),
+                false,
+            ),
+        ];
+        let tree = trained_tree(&mut rng, 3);
+        for ex in variants {
+            let mut engine = FingerprintEngine::new(ex.clone());
+            let w = window(&mut rng, 60, 3, 2);
+            assert_eq!(ex.extract(&w, Some(&tree)), engine.extract(&w, Some(&tree)));
+            assert_eq!(ex.extract(&w, None), engine.extract(&w, None));
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_are_bit_identical() {
+        // The golden parity test: a 20-feature synthetic stream window,
+        // extracted sequentially and with a worker pool, must agree on
+        // every bit.
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let d = 20;
+        let mut seq_engine = FingerprintEngine::new(FingerprintExtractor::full(d));
+        let mut par_engine =
+            FingerprintEngine::new(FingerprintExtractor::full(d)).with_threads(4);
+        assert_eq!(par_engine.threads(), 4);
+        let tree = trained_tree(&mut rng, d);
+        for trial in 0..3 {
+            let w: Vec<LabeledObservation> = (0..100)
+                .map(|i| {
+                    let x: Vec<f64> = (0..d)
+                        .map(|j| (i as f64 * 0.1 + j as f64).sin() + rng.random::<f64>() * 0.3)
+                        .collect();
+                    let y = rng.random_range(0..2usize);
+                    let l = rng.random_range(0..2usize);
+                    LabeledObservation::new(x, y, l)
+                })
+                .collect();
+            let sequential = seq_engine.extract(&w, Some(&tree));
+            let parallel = par_engine.extract(&w, Some(&tree));
+            assert_eq!(sequential, parallel, "trial {trial}");
+            // Reprediction path too.
+            let sequential = seq_engine.extract_repredicted(&w, &tree);
+            let parallel = par_engine.extract_repredicted(&w, &tree);
+            assert_eq!(sequential, parallel, "repredicted trial {trial}");
+        }
+    }
+
+    #[test]
+    fn repredicted_matches_manual_relabel() {
+        let mut rng = Xoshiro256pp::seed_from_u64(14);
+        let ex = FingerprintExtractor::full(3);
+        let mut engine = FingerprintEngine::new(ex.clone());
+        let tree = trained_tree(&mut rng, 3);
+        let w = window(&mut rng, 75, 3, 2);
+        // The legacy framework path: clone, overwrite predictions, extract.
+        let relabeled: Vec<LabeledObservation> = w
+            .iter()
+            .map(|o| {
+                let mut o = o.clone();
+                o.prediction = tree.predict(o.features());
+                o
+            })
+            .collect();
+        let legacy = ex.extract(&relabeled, Some(&tree));
+        let fast = engine.extract_repredicted(&w, &tree);
+        assert_eq!(legacy, fast);
+    }
+
+    #[test]
+    fn tracked_extraction_is_bit_exact_by_default() {
+        let mut rng = Xoshiro256pp::seed_from_u64(15);
+        let d = 3;
+        let mut engine = FingerprintEngine::new(FingerprintExtractor::full(d));
+        let mut tw = TrackedWindow::new(50, d);
+        for o in window(&mut rng, 120, d, 2) {
+            tw.push(o);
+        }
+        let batch = engine.extract(&tw.to_vec(), None);
+        let tracked = engine.extract_tracked(&tw, None);
+        assert_eq!(batch, tracked);
+    }
+
+    #[test]
+    fn tracked_extraction_matches_batch_closely() {
+        let mut rng = Xoshiro256pp::seed_from_u64(15);
+        let d = 3;
+        let mut engine =
+            FingerprintEngine::new(FingerprintExtractor::full(d)).with_incremental_moments(true);
+        let mut tw = TrackedWindow::new(50, d);
+        for o in window(&mut rng, 120, d, 2) {
+            tw.push(o);
+        }
+        let batch = engine.extract(&tw.to_vec(), None);
+        let tracked = engine.extract_tracked(&tw, None);
+        assert_eq!(batch.len(), tracked.len());
+        for (i, (b, t)) in batch.iter().zip(&tracked).enumerate() {
+            assert!(
+                (b - t).abs() <= 1e-9 * (1.0 + b.abs()),
+                "dim {i}: batch {b} vs tracked {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_extraction_reuses_buffers() {
+        // Not a direct allocation count (no custom allocator available),
+        // but the scratch buffers must retain capacity between calls.
+        let mut rng = Xoshiro256pp::seed_from_u64(16);
+        let mut engine = FingerprintEngine::new(FingerprintExtractor::full(2));
+        let w = window(&mut rng, 80, 2, 2);
+        let _ = engine.extract(&w, None);
+        let caps: Vec<usize> = engine.seqs.iter().map(Vec::capacity).collect();
+        let _ = engine.extract(&w, None);
+        let caps_after: Vec<usize> = engine.seqs.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "sequence buffers must be reused");
+    }
+}

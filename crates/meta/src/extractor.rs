@@ -74,7 +74,8 @@ impl SourceSelection {
         }
     }
 
-    fn includes(&self, kind: SourceKind) -> bool {
+    /// Whether `kind` participates under this selection.
+    pub fn includes(&self, kind: SourceKind) -> bool {
         match kind {
             SourceKind::Feature(_) => self.features,
             SourceKind::Labels => self.labels,
@@ -250,6 +251,27 @@ impl FingerprintExtractor {
         self.sources
     }
 
+    /// The sequence functions applied to every selected source, in schema
+    /// order (never contains [`MetaFunction::FeatureImportance`]).
+    pub fn functions(&self) -> &[MetaFunction] {
+        &self.functions
+    }
+
+    /// Whether the schema ends with the per-feature importance block.
+    pub fn includes_feature_importance(&self) -> bool {
+        self.include_feature_importance
+    }
+
+    /// The EMD configuration used for the IMF-entropy dimensions.
+    pub fn emd_config(&self) -> &EmdConfig {
+        &self.emd
+    }
+
+    /// Histogram bins used by the mutual-information dimension.
+    pub fn mi_bins(&self) -> usize {
+        self.mi_bins
+    }
+
     fn eval_function(&self, function: MetaFunction, seq: &[f64], imf: &Option<(f64, f64)>) -> f64 {
         match function {
             MetaFunction::Mean => mean(seq),
@@ -323,15 +345,14 @@ impl FingerprintExtractor {
 mod tests {
     use super::*;
     use ficsum_classifiers::HoeffdingTree;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
-    fn window(rng: &mut StdRng, n: usize, d: usize) -> Vec<LabeledObservation> {
+    fn window(rng: &mut Xoshiro256pp, n: usize, d: usize) -> Vec<LabeledObservation> {
         (0..n)
             .map(|_| {
                 let x: Vec<f64> = (0..d).map(|_| rng.random()).collect();
-                let y = rng.random_range(0..2);
-                let l = rng.random_range(0..2);
+                let y = rng.random_range(0..2usize);
+                let l = rng.random_range(0..2usize);
                 LabeledObservation::new(x, y, l)
             })
             .collect()
@@ -346,7 +367,7 @@ mod tests {
 
     #[test]
     fn extract_matches_schema_len() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let ex = FingerprintExtractor::full(3);
         let w = window(&mut rng, 75, 3);
         let fp = ex.extract(&w, None);
@@ -409,7 +430,7 @@ mod tests {
 
     #[test]
     fn feature_importance_uses_classifier() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut tree = HoeffdingTree::new(2, 2);
         for _ in 0..4000 {
             let y = rng.random_range(0..2usize);
@@ -427,7 +448,7 @@ mod tests {
     #[test]
     fn different_concepts_produce_different_fingerprints() {
         let ex = FingerprintExtractor::full(1);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let low: Vec<LabeledObservation> = (0..75)
             .map(|_| LabeledObservation::new(vec![rng.random::<f64>()], 0, 0))
             .collect();

@@ -26,6 +26,7 @@
 
 pub mod autocorr;
 pub mod emd;
+pub mod engine;
 pub mod extractor;
 pub mod functions;
 pub mod mutual_info;
@@ -33,8 +34,9 @@ pub mod sources;
 pub mod spline;
 
 pub use autocorr::{autocorrelation, partial_autocorrelation};
-pub use emd::{imf_entropies, EmdConfig};
+pub use emd::{imf_entropies, imf_entropies_scratch, EmdConfig, EmdScratch};
+pub use engine::FingerprintEngine;
 pub use extractor::{DimensionInfo, FingerprintExtractor, FingerprintSchema, SourceSelection};
 pub use functions::{kurtosis, mean, skewness, std_dev, turning_point_rate, MetaFunction};
-pub use mutual_info::lagged_mutual_information;
+pub use mutual_info::{lagged_mutual_information, lagged_mutual_information_scratch, MiScratch};
 pub use sources::{behaviour_sources, SourceKind};

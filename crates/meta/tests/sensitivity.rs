@@ -6,16 +6,15 @@ use ficsum_meta::{
     autocorrelation, imf_entropies, kurtosis, lagged_mutual_information, mean, skewness, std_dev,
     turning_point_rate, EmdConfig,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 fn uniform(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     (0..n).map(|_| rng.random()).collect()
 }
 
 fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut prev = 0.5;
     (0..n)
         .map(|_| {

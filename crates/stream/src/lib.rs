@@ -14,11 +14,13 @@
 //!   fingerprinting and weighting machinery.
 
 pub mod observation;
+pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod window;
 
 pub use observation::{LabeledObservation, Observation};
-pub use stats::{EwStats, MinMaxScaler, RunningStats};
+pub use rng::{RandomSource, Xoshiro256pp};
+pub use stats::{EwStats, MinMaxScaler, Moments, RunningStats};
 pub use stream::{ConceptStream, StreamSource, VecStream};
-pub use window::{BufferedWindow, SlidingWindow};
+pub use window::{BufferedWindow, SlidingWindow, TrackedWindow};

@@ -1,7 +1,5 @@
 //! The observation tuples flowing through a stream.
 
-use serde::{Deserialize, Serialize};
-
 /// A single stream observation `<X, y>`: a dense feature vector paired with a
 /// discrete class label.
 ///
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// [`concept`](Observation::concept) annotation identifies which ground-truth
 /// concept generated the observation; it is never shown to a learner and only
 /// consumed by the C-F1 evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     /// Dense feature vector `X`.
     pub features: Vec<f64>,
@@ -45,7 +43,7 @@ impl Observation {
 
 /// A labeled observation `<X, y, l>`: an observation together with the label
 /// `l` assigned by an incremental classifier (Definition 2 of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledObservation {
     /// The underlying `<X, y>` pair.
     pub observation: Observation,

@@ -2,8 +2,7 @@
 //! producing observations from one stationary distribution.
 
 use ficsum_stream::Observation;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 use crate::labeller::Labeller;
 use crate::sampler::FeatureSampler;
@@ -27,7 +26,7 @@ pub struct LabelledConcept<S, L> {
     sampler: S,
     labeller: L,
     label_noise: f64,
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl<S: FeatureSampler, L: Labeller> LabelledConcept<S, L> {
@@ -35,7 +34,7 @@ impl<S: FeatureSampler, L: Labeller> LabelledConcept<S, L> {
     /// replacing the true label with a uniformly random one.
     pub fn new(sampler: S, labeller: L, label_noise: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&label_noise));
-        Self { sampler, labeller, label_noise, rng: StdRng::seed_from_u64(seed) }
+        Self { sampler, labeller, label_noise, rng: Xoshiro256pp::seed_from_u64(seed) }
     }
 }
 
@@ -73,7 +72,7 @@ pub struct RbfConcept {
     cumulative: Vec<f64>,
     dims: usize,
     n_classes: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl RbfConcept {
@@ -87,7 +86,7 @@ impl RbfConcept {
         sample_seed: u64,
     ) -> Self {
         assert!(n_centroids >= n_classes && n_classes >= 2);
-        let mut layout_rng = StdRng::seed_from_u64(concept_seed);
+        let mut layout_rng = Xoshiro256pp::seed_from_u64(concept_seed);
         let centroids: Vec<(Vec<f64>, usize, f64, f64)> = (0..n_centroids)
             .map(|i| {
                 let centre: Vec<f64> = (0..dims).map(|_| layout_rng.random()).collect();
@@ -107,11 +106,11 @@ impl RbfConcept {
                 acc
             })
             .collect();
-        Self { centroids, cumulative, dims, n_classes, rng: StdRng::seed_from_u64(sample_seed) }
+        Self { centroids, cumulative, dims, n_classes, rng: Xoshiro256pp::seed_from_u64(sample_seed) }
     }
 
     /// Approximate standard normal via the sum of 12 uniforms.
-    fn gauss(rng: &mut StdRng) -> f64 {
+    fn gauss(rng: &mut Xoshiro256pp) -> f64 {
         (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0
     }
 }

@@ -12,8 +12,7 @@
 //! component preserves what every measured quantity depends on.
 
 use ficsum_stream::VecStream;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 use crate::concept::{ConceptGenerator, LabelledConcept, RbfConcept};
 use crate::labeller::{
@@ -107,7 +106,7 @@ fn concept_seed(seed: u64, concept: usize, salt: u64) -> u64 {
 }
 
 /// Random per-concept modulation combining the requested drift types.
-fn drifted_modulation(drifts: &[SynthDrift], rng: &mut StdRng) -> ChannelModulation {
+fn drifted_modulation(drifts: &[SynthDrift], rng: &mut Xoshiro256pp) -> ChannelModulation {
     let mut m = ChannelModulation::identity();
     for d in drifts {
         m = m.combine(match d {
@@ -122,7 +121,7 @@ fn drifted_modulation(drifts: &[SynthDrift], rng: &mut StdRng) -> ChannelModulat
 fn modulated_channels(
     n_features: usize,
     drifts: &[SynthDrift],
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256pp,
 ) -> Vec<ChannelModulation> {
     (0..n_features).map(|_| drifted_modulation(drifts, rng)).collect()
 }
@@ -221,7 +220,7 @@ fn unsupervised_drift_stream<L: Labeller + Clone + 'static>(
     let all = [SynthDrift::Distribution, SynthDrift::Autocorrelation, SynthDrift::Frequency];
     let concepts: Vec<Box<dyn ConceptGenerator>> = (0..spec.n_contexts)
         .map(|c| {
-            let mut mod_rng = StdRng::seed_from_u64(concept_seed(seed, c, salt));
+            let mut mod_rng = Xoshiro256pp::seed_from_u64(concept_seed(seed, c, salt));
             let channels = modulated_channels(spec.n_features, &all, &mut mod_rng);
             let sampler = ModulatedSampler::new(
                 UniformSampler::new(spec.n_features, concept_seed(seed, c, salt + 1)),
@@ -306,7 +305,7 @@ fn real_stand_in(cfg: &RealStandIn, seed: u64, salt: u64) -> VecStream {
     );
     let concepts: Vec<Box<dyn ConceptGenerator>> = (0..spec.n_contexts)
         .map(|c| {
-            let mut mod_rng = StdRng::seed_from_u64(concept_seed(seed, c, salt + 1));
+            let mut mod_rng = Xoshiro256pp::seed_from_u64(concept_seed(seed, c, salt + 1));
             let channels: Vec<ChannelModulation> = (0..spec.n_features)
                 .map(|_| {
                     // Context-specific p(X): shift/scale proportional to
@@ -504,7 +503,7 @@ pub fn synth_stream(drifts: &[SynthDrift], n_concepts: usize, segment_len: usize
         RandomTreeLabeller::with_pool(n_features, n_features, 2, 4, concept_seed(seed, 2000, 80));
     let concepts: Vec<Box<dyn ConceptGenerator>> = (0..n_concepts)
         .map(|c| {
-            let mut mod_rng = StdRng::seed_from_u64(concept_seed(seed, c, 81));
+            let mut mod_rng = Xoshiro256pp::seed_from_u64(concept_seed(seed, c, 81));
             let channels = modulated_channels(n_features, drifts, &mut mod_rng);
             let sampler = ModulatedSampler::new(
                 UniformSampler::new(n_features, concept_seed(seed, c, 82)),

@@ -5,8 +5,7 @@
 //! `p(X)`. The classic generators (STAGGER, random tree, hyperplane) are
 //! labellers over uniform features.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 /// A deterministic labelling function with optional label noise applied by
 /// the caller.
@@ -94,7 +93,7 @@ impl RandomTreeLabeller {
     ) -> Self {
         assert!(n_features > 0 && n_classes >= 2 && depth >= 1);
         let pool = pool.clamp(1, n_features);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         // Choose the informative subset.
         let mut all: Vec<usize> = (0..n_features).collect();
         for i in (1..all.len()).rev() {
@@ -149,7 +148,7 @@ pub struct HyperplaneLabeller {
 impl HyperplaneLabeller {
     /// Random hyperplane over `n_features` uniform features.
     pub fn new(n_features: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let weights: Vec<f64> = (0..n_features).map(|_| rng.random_range(-1.0..1.0)).collect();
         let threshold = weights.iter().sum::<f64>() * 0.5;
         Self { weights, threshold }
@@ -183,7 +182,7 @@ impl LinearThresholdLabeller {
     /// uniform `[0,1)` features is used to place the class bins.
     pub fn new(n_features: usize, n_classes: usize, seed: u64) -> Self {
         assert!(n_classes >= 2);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let weights: Vec<f64> = (0..n_features).map(|_| rng.random_range(-1.0..1.0)).collect();
         let pos: f64 = weights.iter().filter(|w| **w > 0.0).sum();
         let neg: f64 = weights.iter().filter(|w| **w < 0.0).sum();
@@ -227,7 +226,7 @@ mod tests {
 
     #[test]
     fn stagger_concepts_disagree() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let (c0, c1) = (StaggerLabeller::new(0), StaggerLabeller::new(1));
         let disagreements = (0..1000)
             .filter(|_| {
@@ -243,7 +242,7 @@ mod tests {
         let t1 = RandomTreeLabeller::new(5, 3, 4, 42);
         let t2 = RandomTreeLabeller::new(5, 3, 4, 42);
         let t3 = RandomTreeLabeller::new(5, 3, 4, 43);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut same = 0;
         let mut diff = 0;
         for _ in 0..500 {
@@ -261,7 +260,7 @@ mod tests {
     #[test]
     fn random_tree_covers_all_classes() {
         let t = RandomTreeLabeller::new(4, 4, 4, 7);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {
             let x: Vec<f64> = (0..4).map(|_| rng.random()).collect();
@@ -273,7 +272,7 @@ mod tests {
     #[test]
     fn hyperplane_is_roughly_balanced() {
         let h = HyperplaneLabeller::new(10, 11);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let pos = (0..5000)
             .filter(|_| {
                 let x: Vec<f64> = (0..10).map(|_| rng.random()).collect();
@@ -287,7 +286,7 @@ mod tests {
     #[test]
     fn linear_threshold_produces_all_classes() {
         let l = LinearThresholdLabeller::new(8, 3, 5);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut counts = [0usize; 3];
         for _ in 0..5000 {
             let x: Vec<f64> = (0..8).map(|_| rng.random()).collect();

@@ -8,8 +8,7 @@
 //! only by the C-F1 evaluation).
 
 use ficsum_stream::{Observation, VecStream};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 use crate::concept::ConceptGenerator;
 
@@ -40,13 +39,13 @@ impl RecurringStreamBuilder {
     /// immediately follows itself (a self-transition is not a drift).
     pub fn schedule(&self, n_concepts: usize) -> Vec<usize> {
         assert!(n_concepts > 0);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mut slots: Vec<usize> = (0..n_concepts)
             .flat_map(|c| std::iter::repeat(c).take(self.n_recurrences))
             .collect();
         // Fisher-Yates.
         for i in (1..slots.len()).rev() {
-            let j = rand::Rng::random_range(&mut rng, 0..=i);
+            let j = rng.random_range(0..=i);
             slots.swap(i, j);
         }
         // Repair adjacent duplicates by swapping with a compatible slot.

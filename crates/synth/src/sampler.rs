@@ -7,8 +7,7 @@
 //! unsupervised drift in the `HPLANE-U` / `RTREE-U` datasets (Section VI-1)
 //! and the `Synth_{D,A,F}` family (Section VI-6).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 
 /// A source of feature vectors.
 pub trait FeatureSampler: Send {
@@ -26,13 +25,13 @@ pub trait FeatureSampler: Send {
 #[derive(Debug, Clone)]
 pub struct UniformSampler {
     dims: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl UniformSampler {
     /// `dims` uniform features seeded with `seed`.
     pub fn new(dims: usize, seed: u64) -> Self {
-        Self { dims, rng: StdRng::seed_from_u64(seed) }
+        Self { dims, rng: Xoshiro256pp::seed_from_u64(seed) }
     }
 }
 
@@ -80,7 +79,7 @@ impl ChannelModulation {
     }
 
     /// Random distributional change (mean / scale / skew) drawn per concept.
-    pub fn random_distribution(rng: &mut StdRng) -> Self {
+    pub fn random_distribution(rng: &mut Xoshiro256pp) -> Self {
         Self {
             skew_gamma: rng.random_range(0.4..2.5),
             scale: rng.random_range(0.5..1.8),
@@ -90,12 +89,12 @@ impl ChannelModulation {
     }
 
     /// Random autocorrelation change drawn per concept.
-    pub fn random_autocorrelation(rng: &mut StdRng) -> Self {
+    pub fn random_autocorrelation(rng: &mut Xoshiro256pp) -> Self {
         Self { ar_phi: rng.random_range(0.3..0.95), ..Self::default() }
     }
 
     /// Random frequency overlay drawn per concept.
-    pub fn random_frequency(rng: &mut StdRng) -> Self {
+    pub fn random_frequency(rng: &mut Xoshiro256pp) -> Self {
         Self {
             sine_amp: rng.random_range(0.2..0.8),
             sine_freq: rng.random_range(0.05..0.8),

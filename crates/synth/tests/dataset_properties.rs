@@ -2,7 +2,7 @@
 //! declared distribution component, recurrences are genuine, seeds vary
 //! the streams but not the declared shape.
 
-use ficsum_stream::{ConceptStream, StreamSource};
+use ficsum_stream::ConceptStream;
 use ficsum_synth::{dataset_by_name, spec_by_name, synth_stream, SynthDrift, ALL_DATASETS};
 
 /// Per-concept mean of feature `j`.

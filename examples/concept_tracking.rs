@@ -28,10 +28,10 @@ fn main() {
 
     println!("{:<8} {:>7} {:>7} {:>8}", "system", "kappa", "C-F1", "models");
     for (name, mut system) in systems {
-        let mut stream = dataset_by_name(spec.name, 7).unwrap();
+        let stream = dataset_by_name(spec.name, 7).unwrap();
         // Cap for example runtime.
         let data: Vec<_> = stream.observations().iter().take(12_000).cloned().collect();
-        let mut stream = ficsum::stream::VecStream::with_classes(data, spec.n_classes);
+        let mut stream = VecStream::with_classes(data, spec.n_classes);
         let r = evaluate(&mut system, &mut stream, spec.n_classes);
         println!("{:<8} {:>7.3} {:>7.3} {:>8}", name, r.kappa, r.c_f1, r.n_models);
     }

@@ -5,7 +5,6 @@
 //! cargo run --release --example custom_meta_features
 //! ```
 
-use ficsum::core::{Ficsum, FicsumConfig};
 use ficsum::prelude::*;
 
 fn main() {
@@ -30,8 +29,8 @@ fn main() {
     let factory = Box::new(move || {
         Box::new(HoeffdingTree::new(3, 2)) as Box<dyn Classifier>
     });
-    let mut system =
-        Ficsum::from_parts(3, 2, FicsumConfig::default(), extractor, factory);
+    let mut system = Ficsum::from_parts(3, 2, FicsumConfig::default(), extractor, factory)
+        .expect("valid configuration");
 
     let mut stream = ficsum::synth::stagger_stream(3);
     for _ in 0..6000 {

@@ -5,12 +5,9 @@
 //! ```
 
 use ficsum::prelude::*;
-use ficsum::drift::{Ddm, Eddm, HddmA, PageHinkley};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn detect(detector: &mut dyn DriftDetector, name: &str) {
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
     // 2000 observations at 10% error, then a jump to 45%.
     let mut detected_at = None;
     for i in 0..4000 {

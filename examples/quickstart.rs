@@ -19,7 +19,8 @@ fn main() {
 
     let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes())
         .variant(Variant::Full)
-        .build();
+        .build()
+        .expect("valid FiCSUM configuration");
 
     let mut correct = 0u64;
     let mut n = 0u64;

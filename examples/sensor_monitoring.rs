@@ -8,18 +8,12 @@
 //! ```
 
 use ficsum::prelude::*;
-use ficsum::synth::{
-    ChannelModulation, ConceptGenerator, LabelledConcept, ModulatedSampler, RandomTreeLabeller,
-    RecurringStreamBuilder, UniformSampler,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // One fixed "failure predictor" labelling function; four seasons that
     // only move the sensor distributions (mean shift + autocorrelation).
     let labeller = RandomTreeLabeller::with_pool(8, 4, 2, 4, 99);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     let seasons: Vec<Box<dyn ConceptGenerator>> = (0..4u64)
         .map(|season| {
             let channels: Vec<ChannelModulation> = (0..8)

@@ -14,7 +14,7 @@
 //!
 //! // A stream whose labelling function changes every 500 observations.
 //! let mut stream = ficsum::synth::stagger_stream(7);
-//! let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes()).build();
+//! let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes()).build()?;
 //!
 //! let mut correct = 0;
 //! let mut n = 0;
@@ -29,6 +29,7 @@
 //!     }
 //! }
 //! assert!(correct as f64 / n as f64 > 0.5);
+//! # Ok::<(), ConfigError>(())
 //! ```
 //!
 //! ## Workspace map
@@ -54,13 +55,33 @@ pub use ficsum_stream as stream;
 pub use ficsum_synth as synth;
 
 /// The most common imports for working with FiCSUM.
+///
+/// Covers the whole public surface an application needs: the framework and
+/// its builder, configuration (and its error type), the fingerprint engine
+/// and extractor, classifiers, every drift detector, stream vocabulary, the
+/// repo-owned RNG, synthetic generators and the evaluation entry points.
 pub mod prelude {
     pub use ficsum_baselines::{EnsembleSystem, FicsumSystem, Htcd, Rcd};
-    pub use ficsum_classifiers::{Classifier, HoeffdingTree};
-    pub use ficsum_core::{Ficsum, FicsumBuilder, FicsumConfig, StepOutcome, Variant};
-    pub use ficsum_drift::{Adwin, DetectorState, DriftDetector};
-    pub use ficsum_eval::{evaluate, EvaluatedSystem, RunResult};
-    pub use ficsum_meta::{FingerprintExtractor, MetaFunction, SourceSelection};
-    pub use ficsum_stream::{ConceptStream, LabeledObservation, Observation, StreamSource};
-    pub use ficsum_synth::{dataset_by_name, DatasetSpec, RecurringStreamBuilder, ALL_DATASETS};
+    pub use ficsum_classifiers::{
+        AdaptiveRandomForest, Classifier, ClassifierFactory, GaussianNaiveBayes, HoeffdingTree,
+    };
+    pub use ficsum_core::{
+        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, StepOutcome, Variant,
+    };
+    pub use ficsum_drift::{
+        Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
+    };
+    pub use ficsum_eval::{evaluate, EvaluatedSystem, KappaEvaluator, RunResult};
+    pub use ficsum_meta::{
+        FingerprintEngine, FingerprintExtractor, MetaFunction, SourceSelection,
+    };
+    pub use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
+    pub use ficsum_stream::{
+        ConceptStream, LabeledObservation, Observation, SlidingWindow, StreamSource, VecStream,
+    };
+    pub use ficsum_synth::{
+        dataset_by_name, ChannelModulation, ConceptGenerator, DatasetSpec, LabelledConcept,
+        ModulatedSampler, RandomTreeLabeller, RecurringStreamBuilder, UniformSampler,
+        ALL_DATASETS,
+    };
 }

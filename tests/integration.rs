@@ -5,7 +5,7 @@
 use ficsum::prelude::*;
 
 fn run_system(mut system: impl EvaluatedSystem, name: &str, cap: usize) -> RunResult {
-    let mut stream = dataset_by_name(name, 11).expect("dataset exists");
+    let stream = dataset_by_name(name, 11).expect("dataset exists");
     let n_classes = stream.n_classes();
     let data: Vec<_> = stream.observations().iter().take(cap).cloned().collect();
     let mut stream = ficsum::stream::VecStream::with_classes(data, n_classes);
@@ -54,7 +54,7 @@ fn ensembles_report_single_model_identity() {
 fn every_dataset_runs_through_full_ficsum_briefly() {
     for spec in ALL_DATASETS {
         let mut stream = dataset_by_name(spec.name, 3).unwrap();
-        let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes()).build();
+        let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes()).build().unwrap();
         for _ in 0..1500 {
             let Some(o) = stream.next_observation() else { break };
             let out = system.process(&o.features, o.label);
@@ -66,7 +66,7 @@ fn every_dataset_runs_through_full_ficsum_briefly() {
 #[test]
 fn drift_points_are_monotonic_and_counted() {
     let mut stream = dataset_by_name("STAGGER", 5).unwrap();
-    let mut system = FicsumBuilder::new(3, 2).build();
+    let mut system = FicsumBuilder::new(3, 2).build().unwrap();
     for _ in 0..12_000 {
         let Some(o) = stream.next_observation() else { break };
         system.process(&o.features, o.label);
@@ -80,7 +80,7 @@ fn drift_points_are_monotonic_and_counted() {
 fn repository_respects_capacity_bound() {
     let config = FicsumConfig { max_repository: 3, ..FicsumConfig::default() };
     let mut stream = dataset_by_name("STAGGER", 9).unwrap();
-    let mut system = FicsumBuilder::new(3, 2).config(config).build();
+    let mut system = FicsumBuilder::new(3, 2).config(config).build().unwrap();
     for _ in 0..15_000 {
         let Some(o) = stream.next_observation() else { break };
         system.process(&o.features, o.label);
@@ -91,7 +91,7 @@ fn repository_respects_capacity_bound() {
 #[test]
 fn similarity_trace_records_bounded_values() {
     let mut stream = dataset_by_name("RBF", 2).unwrap();
-    let mut system = FicsumBuilder::new(10, 3).build();
+    let mut system = FicsumBuilder::new(10, 3).build().unwrap();
     system.enable_similarity_trace();
     for _ in 0..4_000 {
         let Some(o) = stream.next_observation() else { break };

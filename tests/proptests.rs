@@ -1,4 +1,15 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Gated behind the off-by-default `property-tests` feature so the default
+//! `cargo test -q` stays fast:
+//!
+//! ```sh
+//! cargo test --features property-tests --test proptests
+//! ```
+//!
+//! The suite is std-only and fully deterministic: every case is generated
+//! from a seeded [`Xoshiro256pp`], so a failure reproduces exactly.
+#![cfg(feature = "property-tests")]
 
 use ficsum::core::{cosine, fingerprint_similarity, weighted_cosine, ConceptFingerprint};
 use ficsum::drift::{Adwin, DriftDetector};
@@ -8,16 +19,41 @@ use ficsum::meta::{
     partial_autocorrelation, skewness, std_dev, turning_point_rate, EmdConfig,
     FingerprintExtractor,
 };
+use ficsum::stream::rng::{RandomSource, Xoshiro256pp};
 use ficsum::stream::{EwStats, LabeledObservation, MinMaxScaler, RunningStats, SlidingWindow};
-use proptest::prelude::*;
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+/// Cases per property. Each case draws fresh random inputs.
+const CASES: usize = 64;
+
+/// Runs `body` over `CASES` deterministic random cases; the case index is
+/// folded into the seed so every case is distinct but reproducible.
+fn for_cases(name: &str, mut body: impl FnMut(&mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xF1C5_0000 + case as u64);
+        // The name keys the stream too, so properties don't share inputs.
+        for b in name.bytes() {
+            rng = Xoshiro256pp::seed_from_u64(rng.next_u64() ^ b as u64);
+        }
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    #[test]
-    fn running_stats_match_batch(values in finite_vec(200)) {
+/// A random vector of finite values in `[-1e6, 1e6)`, length in `[1, max_len)`.
+fn finite_vec(rng: &mut Xoshiro256pp, max_len: usize) -> Vec<f64> {
+    let len = rng.random_range(1..max_len);
+    (0..len).map(|_| rng.random_range(-1e6..1e6)).collect()
+}
+
+/// A random vector of values in `[lo, hi)` with length in `[min_len, max_len)`.
+fn vec_in(rng: &mut Xoshiro256pp, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.random_range(min_len..max_len);
+    (0..len).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[test]
+fn running_stats_match_batch() {
+    for_cases("running_stats_match_batch", |rng| {
+        let values = finite_vec(rng, 200);
         let mut s = RunningStats::new();
         for &v in &values {
             s.push(v);
@@ -25,13 +61,17 @@ proptest! {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var));
-        prop_assert_eq!(s.count() as usize, values.len());
-    }
+        assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var));
+        assert_eq!(s.count() as usize, values.len());
+    });
+}
 
-    #[test]
-    fn running_stats_merge_is_order_independent(a in finite_vec(100), b in finite_vec(100)) {
+#[test]
+fn running_stats_merge_is_order_independent() {
+    for_cases("running_stats_merge_is_order_independent", |rng| {
+        let a = finite_vec(rng, 100);
+        let b = finite_vec(rng, 100);
         let fill = |vals: &[f64]| {
             let mut s = RunningStats::new();
             vals.iter().for_each(|&v| s.push(v));
@@ -41,145 +81,207 @@ proptest! {
         ab.merge(&fill(&b));
         let mut ba = fill(&b);
         ba.merge(&fill(&a));
-        prop_assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * (1.0 + ab.mean().abs()));
-        prop_assert!((ab.variance() - ba.variance()).abs() <= 1e-4 * (1.0 + ab.variance()));
-    }
+        assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * (1.0 + ab.mean().abs()));
+        assert!((ab.variance() - ba.variance()).abs() <= 1e-4 * (1.0 + ab.variance()));
+    });
+}
 
-    #[test]
-    fn minmax_scaler_stays_in_unit_interval(values in finite_vec(100), probe in -1e6f64..1e6) {
+#[test]
+fn incremental_moments_match_batch_over_windows() {
+    use ficsum::stream::Moments;
+    for_cases("incremental_moments_match_batch_over_windows", |rng| {
+        let values = finite_vec(rng, 300);
+        let w = rng.random_range(2..40usize);
+        let mut m = Moments::new();
+        for i in 0..values.len() {
+            m.push(values[i]);
+            if i >= w {
+                m.remove(values[i - w]);
+            }
+            let lo = i.saturating_sub(w - 1);
+            let slice = &values[lo..=i];
+            let n = slice.len() as f64;
+            let mu = slice.iter().sum::<f64>() / n;
+            assert!((m.mean() - mu).abs() <= 1e-6 * (1.0 + mu.abs()));
+            assert!((m.skewness() - skewness(slice)).abs() <= 1e-6);
+            assert!((m.kurtosis() - kurtosis(slice)).abs() <= 1e-5);
+        }
+    });
+}
+
+#[test]
+fn minmax_scaler_stays_in_unit_interval() {
+    for_cases("minmax_scaler_stays_in_unit_interval", |rng| {
+        let values = finite_vec(rng, 100);
+        let probe = rng.random_range(-1e6..1e6);
         let mut m = MinMaxScaler::new();
         values.iter().for_each(|&v| m.observe(v));
         let s = m.scale(probe);
-        prop_assert!((0.0..=1.0).contains(&s));
-    }
+        assert!((0.0..=1.0).contains(&s));
+    });
+}
 
-    #[test]
-    fn ew_stats_mean_is_bounded_by_observed_range(values in finite_vec(100)) {
+#[test]
+fn ew_stats_mean_is_bounded_by_observed_range() {
+    for_cases("ew_stats_mean_is_bounded_by_observed_range", |rng| {
+        let values = finite_vec(rng, 100);
         let mut s = EwStats::new(0.1);
         values.iter().for_each(|&v| s.push(v));
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
-        prop_assert!(s.variance() >= 0.0);
-    }
+        assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+        assert!(s.variance() >= 0.0);
+    });
+}
 
-    #[test]
-    fn cosine_is_bounded_and_symmetric(a in finite_vec(32), b in finite_vec(32)) {
+#[test]
+fn cosine_is_bounded_and_symmetric() {
+    for_cases("cosine_is_bounded_and_symmetric", |rng| {
+        let a = finite_vec(rng, 32);
+        let b = finite_vec(rng, 32);
         let n = a.len().min(b.len());
         let (a, b) = (&a[..n], &b[..n]);
         let s = cosine(a, b);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
-        prop_assert!((s - cosine(b, a)).abs() < 1e-12);
-    }
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        assert!((s - cosine(b, a)).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn weighted_cosine_self_similarity_is_one(a in prop::collection::vec(0.01f64..1e3, 2..32),
-                                              w in prop::collection::vec(0.01f64..10.0, 32)) {
-        let s = weighted_cosine(&a, &a, &w[..a.len()]);
-        prop_assert!((s - 1.0).abs() < 1e-9, "self-sim {s}");
-    }
+#[test]
+fn weighted_cosine_self_similarity_is_one() {
+    for_cases("weighted_cosine_self_similarity_is_one", |rng| {
+        let a = vec_in(rng, 0.01, 1e3, 2, 32);
+        let w: Vec<f64> = (0..a.len()).map(|_| rng.random_range(0.01..10.0)).collect();
+        let s = weighted_cosine(&a, &a, &w);
+        assert!((s - 1.0).abs() < 1e-9, "self-sim {s}");
+    });
+}
 
-    #[test]
-    fn fingerprint_similarity_bounded_for_normalised_inputs(
-        a in prop::collection::vec(0.0f64..1.0, 1..32),
-        b in prop::collection::vec(0.0f64..1.0, 32),
-        w in prop::collection::vec(0.0f64..5.0, 32),
-    ) {
+#[test]
+fn fingerprint_similarity_bounded_for_normalised_inputs() {
+    for_cases("fingerprint_similarity_bounded_for_normalised_inputs", |rng| {
+        let a = vec_in(rng, 0.0, 1.0, 1, 32);
         let n = a.len();
-        let s = fingerprint_similarity(&a, &b[..n], &w[..n]);
-        prop_assert!((0.0..=1.0).contains(&s), "sim {s}");
-    }
+        let b: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        let w: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..5.0)).collect();
+        let s = fingerprint_similarity(&a, &b, &w);
+        assert!((0.0..=1.0).contains(&s), "sim {s}");
+    });
+}
 
-    #[test]
-    fn moment_functions_are_finite(values in finite_vec(150)) {
+#[test]
+fn moment_functions_are_finite() {
+    for_cases("moment_functions_are_finite", |rng| {
+        let values = finite_vec(rng, 150);
         for f in [mean, std_dev, skewness, kurtosis, turning_point_rate] {
-            prop_assert!(f(&values).is_finite());
+            assert!(f(&values).is_finite());
         }
-        prop_assert!(autocorrelation(&values, 1).is_finite());
-        prop_assert!(autocorrelation(&values, 2).is_finite());
-        prop_assert!(partial_autocorrelation(&values, 2).is_finite());
-    }
+        assert!(autocorrelation(&values, 1).is_finite());
+        assert!(autocorrelation(&values, 2).is_finite());
+        assert!(partial_autocorrelation(&values, 2).is_finite());
+    });
+}
 
-    #[test]
-    fn autocorrelation_is_bounded(values in finite_vec(150)) {
+#[test]
+fn autocorrelation_is_bounded() {
+    for_cases("autocorrelation_is_bounded", |rng| {
+        let values = finite_vec(rng, 150);
         for lag in [1usize, 2] {
             let r = autocorrelation(&values, lag);
-            prop_assert!((-1.000001..=1.000001).contains(&r), "acf{lag}={r}");
+            assert!((-1.000001..=1.000001).contains(&r), "acf{lag}={r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn mutual_information_is_nonnegative(values in finite_vec(120)) {
-        prop_assert!(lagged_mutual_information(&values, 1, 8) >= 0.0);
-    }
+#[test]
+fn mutual_information_is_nonnegative() {
+    for_cases("mutual_information_is_nonnegative", |rng| {
+        let values = finite_vec(rng, 120);
+        assert!(lagged_mutual_information(&values, 1, 8) >= 0.0);
+    });
+}
 
-    #[test]
-    fn emd_never_panics_and_entropy_is_finite(values in finite_vec(120)) {
+#[test]
+fn emd_never_panics_and_entropy_is_finite() {
+    for_cases("emd_never_panics_and_entropy_is_finite", |rng| {
+        let values = finite_vec(rng, 120);
         let (h1, h2) = imf_entropies(&values, &EmdConfig::default());
-        prop_assert!(h1.is_finite() && h2.is_finite());
-        prop_assert!(h1 >= 0.0 && h2 >= 0.0);
-    }
+        assert!(h1.is_finite() && h2.is_finite());
+        assert!(h1 >= 0.0 && h2 >= 0.0);
+    });
+}
 
-    #[test]
-    fn extractor_output_is_finite_for_any_window(
-        rows in prop::collection::vec(
-            (prop::collection::vec(-100.0f64..100.0, 3), 0usize..3, 0usize..3),
-            5..60,
-        )
-    ) {
+#[test]
+fn extractor_output_is_finite_for_any_window() {
+    for_cases("extractor_output_is_finite_for_any_window", |rng| {
+        let rows = rng.random_range(5..60usize);
         let ex = FingerprintExtractor::full(3);
-        let window: Vec<LabeledObservation> = rows
-            .into_iter()
-            .map(|(x, y, l)| LabeledObservation::new(x, y, l))
+        let window: Vec<LabeledObservation> = (0..rows)
+            .map(|_| {
+                let x: Vec<f64> = (0..3).map(|_| rng.random_range(-100.0..100.0)).collect();
+                LabeledObservation::new(x, rng.random_range(0..3usize), rng.random_range(0..3usize))
+            })
             .collect();
         let fp = ex.extract(&window, None);
-        prop_assert_eq!(fp.len(), ex.schema().len());
-        prop_assert!(fp.iter().all(|v| v.is_finite()));
-    }
+        assert_eq!(fp.len(), ex.schema().len());
+        assert!(fp.iter().all(|v| v.is_finite()));
+    });
+}
 
-    #[test]
-    fn adwin_handles_arbitrary_bounded_input(values in prop::collection::vec(0.0f64..1.0, 1..500)) {
+#[test]
+fn adwin_handles_arbitrary_bounded_input() {
+    for_cases("adwin_handles_arbitrary_bounded_input", |rng| {
+        let values = vec_in(rng, 0.0, 1.0, 1, 500);
         let mut adwin = Adwin::new(0.01);
         for &v in &values {
             adwin.add(v);
         }
-        prop_assert!(adwin.width() <= values.len() as u64);
-        prop_assert!(adwin.mean().is_finite());
-        prop_assert!(adwin.variance() >= -1e-9);
-    }
+        assert!(adwin.width() <= values.len() as u64);
+        assert!(adwin.mean().is_finite());
+        assert!(adwin.variance() >= -1e-9);
+    });
+}
 
-    #[test]
-    fn kappa_is_bounded(pairs in prop::collection::vec((0usize..3, 0usize..3), 1..300)) {
+#[test]
+fn kappa_is_bounded() {
+    for_cases("kappa_is_bounded", |rng| {
+        let pairs = rng.random_range(1..300usize);
         let mut k = KappaEvaluator::new(3);
-        for (t, p) in pairs {
-            k.record(t, p);
+        for _ in 0..pairs {
+            k.record(rng.random_range(0..3usize), rng.random_range(0..3usize));
         }
         let kappa = k.kappa();
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&kappa), "kappa {kappa}");
-    }
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&kappa), "kappa {kappa}");
+    });
+}
 
-    #[test]
-    fn sliding_window_never_exceeds_capacity(cap in 1usize..20, n in 0usize..100) {
+#[test]
+fn sliding_window_never_exceeds_capacity() {
+    for_cases("sliding_window_never_exceeds_capacity", |rng| {
+        let cap = rng.random_range(1..20usize);
+        let n = rng.random_range(0..100usize);
         let mut w = SlidingWindow::new(cap);
         for i in 0..n {
             w.push(LabeledObservation::new(vec![i as f64], 0, 0));
-            prop_assert!(w.len() <= cap);
+            assert!(w.len() <= cap);
         }
-        prop_assert_eq!(w.len(), n.min(cap));
-    }
+        assert_eq!(w.len(), n.min(cap));
+    });
+}
 
-    #[test]
-    fn concept_fingerprint_mean_is_bounded_by_inputs(
-        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4), 1..50)
-    ) {
+#[test]
+fn concept_fingerprint_mean_is_bounded_by_inputs() {
+    for_cases("concept_fingerprint_mean_is_bounded_by_inputs", |rng| {
+        let rows = rng.random_range(1..50usize);
         let mut cf = ConceptFingerprint::new(4);
-        for row in &rows {
-            cf.incorporate(row);
+        for _ in 0..rows {
+            let row: Vec<f64> = (0..4).map(|_| rng.random_range(0.0..1.0)).collect();
+            cf.incorporate(&row);
         }
         for dim in 0..4 {
             let m = cf.mean(dim);
-            prop_assert!((0.0..=1.0).contains(&m));
-            prop_assert!(cf.std_dev(dim) <= 0.5 + 1e-9);
+            assert!((0.0..=1.0).contains(&m));
+            assert!(cf.std_dev(dim) <= 0.5 + 1e-9);
         }
-    }
+    });
 }
