@@ -2,6 +2,7 @@
 
 use ficsum_core::{Ficsum, FicsumBuilder, FicsumConfig, Variant};
 use ficsum_eval::EvaluatedSystem;
+use ficsum_obs::Recorder;
 
 /// A FiCSUM instance under evaluation.
 pub struct FicsumSystem {
@@ -51,6 +52,15 @@ impl EvaluatedSystem for FicsumSystem {
         self.inner.discrimination_probe()
     }
 
+    fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) -> bool {
+        self.inner.set_recorder(recorder);
+        true
+    }
+
+    fn recorder(&self) -> Option<&dyn Recorder> {
+        Some(self.inner.recorder())
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }
@@ -59,7 +69,7 @@ impl EvaluatedSystem for FicsumSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ficsum_eval::evaluate;
+    use ficsum_eval::{evaluate_with, RunOptions};
     use ficsum_synth::stagger_stream;
     use ficsum_stream::{StreamSource, VecStream};
 
@@ -77,10 +87,16 @@ mod tests {
             Variant::Full,
             FicsumConfig { window_size: 50, fingerprint_gap: 5, ..FicsumConfig::default() },
         );
-        let result = evaluate(&mut system, &mut stream, 2);
+        let result = evaluate_with(&mut system, &mut stream, &RunOptions::new(2).observed());
         assert!(result.kappa > 0.3, "kappa {}", result.kappa);
         assert!(result.c_f1 > 0.2, "c_f1 {}", result.c_f1);
         assert_eq!(result.n_observations, 8000);
+        // The observed run must report real per-stage costs and a drift
+        // accounting derived purely from recorded events.
+        let obs = result.observability.expect("FicsumSystem supports recorders");
+        assert!(obs.n_drifts >= 1, "{obs:?}");
+        assert!(!obs.stage_costs.is_empty(), "stage spans must be recorded");
+        assert!(obs.total_stage_nanos() > 0);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! and fingerprint plasticity.
 
 use ficsum_baselines::FicsumSystem;
-use ficsum_bench::harness::{build_stream, metric, Options};
+use ficsum_bench::harness::{build_stream, metric, run_options, Options};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_core::{FicsumConfig, Variant};
-use ficsum_eval::{evaluate, format_cell, Table};
+use ficsum_eval::{evaluate_with, format_cell, Table};
 use ficsum_stream::StreamSource;
 
 const DATASETS: [&str; 4] = ["STAGGER", "RTREE-U", "Arabic", "RBF"];
@@ -23,6 +24,7 @@ fn variants() -> Vec<(&'static str, FicsumConfig)> {
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("ablations", &opts);
     let headers: Vec<&str> = std::iter::once("Configuration")
         .chain(DATASETS.iter().copied())
         .collect();
@@ -37,9 +39,14 @@ fn main() {
                     let mut stream = build_stream(name, seed + 1, &opts);
                     let (d, k) = (stream.dims(), stream.n_classes());
                     let mut system = FicsumSystem::with_config(d, k, Variant::Full, config);
-                    evaluate(&mut system, &mut stream, k)
+                    evaluate_with(&mut system, &mut stream, &run_options(k, seed + 1, &opts))
                 })
                 .collect();
+            if let Some(rep) = reporter.as_mut() {
+                for r in &results {
+                    rep.record(name, r);
+                }
+            }
             kappa_cells.push(format_cell(&metric(&results, |r| r.kappa)));
             cf1_cells.push(format_cell(&metric(&results, |r| r.c_f1)));
         }
@@ -51,4 +58,7 @@ fn main() {
     println!("{}", kappa_table.render());
     println!("Ablations — C-F1\n");
     println!("{}", cf1_table.render());
+    if let Some(rep) = reporter {
+        rep.finish();
+    }
 }

@@ -10,12 +10,23 @@
 //! then hit both paths almost equally instead of biasing whichever path
 //! happened to run during the quiet stretch.
 //!
-//! Usage: `extraction_throughput [--secs S] [--d D] [--window W] [--reps R]`
-//! (defaults: 0.25 s per round, 8 rounds per path, d = 20, w = 100).
+//! A third interleaved round times the engine with the observability
+//! clock attached (per-source span timing on), so the cost of
+//! instrumentation is measured against the disabled default in the same
+//! noise environment. With no clock attached (the `NullRecorder`
+//! default) the obs layer costs one branch per extraction.
+//!
+//! Usage: `extraction_throughput [--secs S] [--d D] [--window W] [--reps R]
+//! [--jsonl PATH]` (defaults: 0.25 s per round, 8 rounds per path,
+//! d = 20, w = 100).
 
-use ficsum_bench::harness::{synthetic_window, time_throughput, Throughput};
+use std::sync::Arc;
+
+use ficsum_bench::harness::{synthetic_window, time_throughput, Options, Throughput};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_classifiers::{Classifier, HoeffdingTree};
 use ficsum_meta::{FingerprintEngine, FingerprintExtractor};
+use ficsum_obs::MonotonicClock;
 use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 use ficsum_stream::{LabeledObservation, TrackedWindow};
 
@@ -45,9 +56,14 @@ fn main() {
     let mut d = 20usize;
     let mut w = 100usize;
     let mut reps = 8usize;
+    let mut jsonl: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--jsonl" => {
+                jsonl = Some(args[i + 1].clone());
+                i += 1;
+            }
             "--secs" => {
                 secs = args[i + 1].parse().expect("--secs requires a number");
                 i += 1;
@@ -82,6 +98,8 @@ fn main() {
 
     let extractor = FingerprintExtractor::full(d);
     let mut engine = FingerprintEngine::new(extractor.clone());
+    let mut timed_engine = FingerprintEngine::new(extractor.clone());
+    timed_engine.set_clock(Some(Arc::new(MonotonicClock::new())));
 
     // Parity first: a benchmark comparing two paths is only meaningful if
     // they compute the same thing.
@@ -126,6 +144,43 @@ fn main() {
         fast.secs_per_iter() * 1e3
     );
 
+    // Instrumentation cost: the same engine path with the obs clock
+    // attached, interleaved against the disabled default so both see the
+    // same scheduling noise. The disabled path is what every run without
+    // a recorder (the `NullRecorder` default) pays.
+    let (plain, timed) = interleaved(
+        reps,
+        secs,
+        w as u64,
+        || {
+            std::hint::black_box(engine.extract_tracked_repredicted(&tracked, &tree));
+        },
+        || {
+            std::hint::black_box(timed_engine.extract_tracked_repredicted(&tracked, &tree));
+        },
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.3}",
+        "engine (timing enabled)",
+        timed.units_per_sec(),
+        timed.secs_per_iter() * 1e3
+    );
+
     let speedup = fast.units_per_sec() / legacy.units_per_sec();
     println!("speedup: {speedup:.2}x");
+    let overhead_pct = 100.0 * (plain.units_per_sec() / timed.units_per_sec() - 1.0);
+    println!(
+        "obs timing overhead: {overhead_pct:.2}% (clock attached vs NullRecorder default)"
+    );
+
+    if jsonl.is_some() {
+        let opts = Options { seeds: 0, quick: false, only: None, jsonl };
+        let mut rep = JsonlReporter::from_options("extraction_throughput", &opts)
+            .expect("--jsonl was given");
+        rep.record_throughput("legacy", &legacy);
+        rep.record_throughput("engine", &fast);
+        rep.record_throughput("engine_untimed", &plain);
+        rep.record_throughput("engine_timed", &timed);
+        rep.finish();
+    }
 }

@@ -4,19 +4,23 @@
 //! (w=75, ratio=0.25, P_C=3, P_S=25), exactly like the paper's plot.
 
 use ficsum_baselines::FicsumSystem;
-use ficsum_bench::harness::{build_stream, Options};
+use ficsum_bench::harness::{build_stream, run_options, Options};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_core::{FicsumConfig, Variant};
-use ficsum_eval::{evaluate, Table};
+use ficsum_eval::{evaluate_with, Table};
 use ficsum_stream::StreamSource;
 
-fn run(config: FicsumConfig, opts: &Options) -> (f64, f64) {
+fn run(config: FicsumConfig, opts: &Options, reporter: &mut Option<JsonlReporter>) -> (f64, f64) {
     let mut acc = 0.0;
     let mut rt = 0.0;
     for seed in 0..opts.seeds {
         let mut stream = build_stream("Arabic", seed + 1, opts);
         let (d, k) = (stream.dims(), stream.n_classes());
         let mut system = FicsumSystem::with_config(d, k, Variant::Full, config);
-        let r = evaluate(&mut system, &mut stream, k);
+        let r = evaluate_with(&mut system, &mut stream, &run_options(k, seed + 1, opts));
+        if let Some(rep) = reporter.as_mut() {
+            rep.record("Arabic", &r);
+        }
         acc += r.accuracy;
         rt += r.runtime_s;
     }
@@ -25,8 +29,9 @@ fn run(config: FicsumConfig, opts: &Options) -> (f64, f64) {
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("fig3_sensitivity", &opts);
     let base_config = FicsumConfig::default();
-    let (base_acc, base_rt) = run(base_config, &opts);
+    let (base_acc, base_rt) = run(base_config, &opts, &mut reporter);
     println!(
         "base (w=75, ratio=0.25, P_C=3, P_S=25): accuracy={base_acc:.3} runtime={base_rt:.1}s\n"
     );
@@ -70,7 +75,7 @@ fn main() {
                 "P_C" => config.fingerprint_gap.to_string(),
                 _ => config.repository_gap.to_string(),
             };
-            let (acc, rt) = run(config, &opts);
+            let (acc, rt) = run(config, &opts, &mut reporter);
             table.add_row(
                 label,
                 vec![value, format!("{:.3}", acc / base_acc), format!("{:.3}", rt / base_rt)],
@@ -80,4 +85,7 @@ fn main() {
     }
     println!("Figure 3 — parameter sensitivity on Arabic\n");
     println!("{}", table.render());
+    if let Some(rep) = reporter {
+        rep.finish();
+    }
 }

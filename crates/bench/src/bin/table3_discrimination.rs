@@ -7,11 +7,13 @@
 //! absolute magnitudes.
 
 use ficsum_bench::harness::{metric, run_variant, Options, VARIANT_COLUMNS};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_eval::{format_cell, Table};
 use ficsum_synth::ALL_DATASETS;
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("table3_discrimination", &opts);
     let mut table = Table::new(&["Dataset", "ER", "S-MI", "U-MI", "FiCSUM"]);
     for spec in ALL_DATASETS {
         if !opts.selected(spec.name) {
@@ -22,6 +24,11 @@ fn main() {
             let results: Vec<_> = (0..opts.seeds)
                 .map(|seed| run_variant(spec.name, variant, seed + 1, &opts))
                 .collect();
+            if let Some(rep) = reporter.as_mut() {
+                for r in &results {
+                    rep.record(spec.name, r);
+                }
+            }
             let discs = metric(&results, |r| r.discrimination.unwrap_or(0.0));
             cells.push(format_cell(&discs));
         }
@@ -30,4 +37,7 @@ fn main() {
     }
     println!("Table III — discrimination ability (mean gap to impostor concepts, sigma units)\n");
     println!("{}", table.render());
+    if let Some(rep) = reporter {
+        rep.finish();
+    }
 }

@@ -2,6 +2,7 @@
 //! datasets, with average ranks and Friedman/Nemenyi significance tests.
 
 use ficsum_bench::harness::{metric, run_variant, Options, VARIANT_COLUMNS};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_eval::{
     format_cell, friedman_test, mean_std, nemenyi_critical_difference, Table,
 };
@@ -9,6 +10,7 @@ use ficsum_synth::ALL_DATASETS;
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("table4_performance", &opts);
     let mut kappa_table = Table::new(&["Dataset", "ER", "S-MI", "U-MI", "FiCSUM"]);
     let mut cf1_table = Table::new(&["Dataset", "ER", "S-MI", "U-MI", "FiCSUM"]);
     let mut kappa_rows: Vec<Vec<f64>> = Vec::new();
@@ -26,6 +28,11 @@ fn main() {
             let results: Vec<_> = (0..opts.seeds)
                 .map(|seed| run_variant(spec.name, variant, seed + 1, &opts))
                 .collect();
+            if let Some(rep) = reporter.as_mut() {
+                for r in &results {
+                    rep.record(spec.name, r);
+                }
+            }
             let kappas = metric(&results, |r| r.kappa);
             let cf1s = metric(&results, |r| r.c_f1);
             kappa_row.push(mean_std(&kappas).0);
@@ -60,5 +67,8 @@ fn main() {
                 cd
             );
         }
+    }
+    if let Some(rep) = reporter {
+        rep.finish();
     }
 }

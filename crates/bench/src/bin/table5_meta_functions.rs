@@ -2,9 +2,10 @@
 //! drift in distribution (D), autocorrelation (A) and frequency (F).
 
 use ficsum_baselines::FicsumSystem;
-use ficsum_bench::harness::{truncate, Options};
+use ficsum_bench::harness::{run_options, truncate, Options};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_core::Variant;
-use ficsum_eval::{evaluate, format_cell, Table};
+use ficsum_eval::{evaluate_with, format_cell, Table};
 use ficsum_meta::MetaFunction;
 use ficsum_stream::StreamSource;
 use ficsum_synth::{synth_stream, SynthDrift, SYNTH_COMBOS};
@@ -23,6 +24,7 @@ fn rows() -> Vec<(String, Variant)> {
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("table5_meta_functions", &opts);
     let n_concepts = 4;
     let segment = if opts.quick { 250 } else { 400 };
 
@@ -47,7 +49,10 @@ fn main() {
                 let mut stream = truncate(stream, opts.stream_cap());
                 let (d, k) = (stream.dims(), stream.n_classes());
                 let mut system = FicsumSystem::new(d, k, variant);
-                let r = evaluate(&mut system, &mut stream, k);
+                let r = evaluate_with(&mut system, &mut stream, &run_options(k, seed + 1, &opts));
+                if let Some(rep) = reporter.as_mut() {
+                    rep.record(&format!("Synth_{combo}"), &r);
+                }
                 kappas.push(r.kappa);
                 cf1s.push(r.c_f1);
                 discs.push(r.discrimination.unwrap_or(0.0));
@@ -68,4 +73,7 @@ fn main() {
     println!("{}", cf1_table.render());
     println!("Table V — discrimination ability per meta-information function\n");
     println!("{}", disc_table.render());
+    if let Some(rep) = reporter {
+        rep.finish();
+    }
 }

@@ -2,6 +2,7 @@
 //! over the nine framework-comparison datasets.
 
 use ficsum_bench::harness::{metric, run_framework, Framework, Options};
+use ficsum_bench::jsonl_out::JsonlReporter;
 use ficsum_eval::{format_cell, Table};
 
 /// The nine datasets of the paper's Table VI (columns there; rows here).
@@ -10,6 +11,7 @@ const DATASETS: [&str; 9] =
 
 fn main() {
     let opts = Options::from_args();
+    let mut reporter = JsonlReporter::from_options("table6_frameworks", &opts);
     let headers: Vec<&str> =
         std::iter::once("Dataset").chain(Framework::ALL.iter().map(|f| f.name())).collect();
     let mut kappa_table = Table::new(&headers);
@@ -27,6 +29,11 @@ fn main() {
             let results: Vec<_> = (0..opts.seeds)
                 .map(|seed| run_framework(name, framework, seed + 1, &opts))
                 .collect();
+            if let Some(rep) = reporter.as_mut() {
+                for r in &results {
+                    rep.record(name, r);
+                }
+            }
             kappa_cells.push(format_cell(&metric(&results, |r| r.kappa)));
             cf1_cells.push(format_cell(&metric(&results, |r| r.c_f1)));
             rt_cells.push(format_cell(&metric(&results, |r| r.runtime_s)));
@@ -43,4 +50,7 @@ fn main() {
     println!("{}", cf1_table.render());
     println!("Table VI — runtime (seconds) per framework\n");
     println!("{}", runtime_table.render());
+    if let Some(rep) = reporter {
+        rep.finish();
+    }
 }

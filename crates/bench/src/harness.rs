@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use ficsum_baselines::{EnsembleSystem, FicsumSystem, Htcd, Rcd};
 use ficsum_core::{FicsumConfig, Variant};
-use ficsum_eval::{evaluate, EvaluatedSystem, RunResult};
+use ficsum_eval::{evaluate_with, EvaluatedSystem, RunOptions, RunResult};
 use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
 use ficsum_stream::{LabeledObservation, StreamSource, VecStream};
 use ficsum_synth::dataset_by_name;
@@ -20,13 +20,17 @@ pub struct Options {
     pub quick: bool,
     /// Optional dataset filter (case-insensitive substring).
     pub only: Option<String>,
+    /// Optional JSONL output path (`-` = stdout): every run result (and,
+    /// for systems that support recorders, its observability summary) is
+    /// streamed as one JSON object per line.
+    pub jsonl: Option<String>,
 }
 
 impl Options {
     /// Parses `--seeds N`, `--quick`, `--only NAME`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut opts = Options { seeds: 2, quick: false, only: None };
+        let mut opts = Options { seeds: 2, quick: false, only: None, jsonl: None };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -42,8 +46,15 @@ impl Options {
                     opts.only = args.get(i + 1).cloned();
                     i += 1;
                 }
+                "--jsonl" => {
+                    opts.jsonl = Some(args.get(i + 1).cloned().expect("--jsonl requires a path"));
+                    i += 1;
+                }
                 other => {
-                    panic!("unknown option {other}; supported: --seeds N, --quick, --only NAME")
+                    panic!(
+                        "unknown option {other}; supported: --seeds N, --quick, --only NAME, \
+                         --jsonl PATH"
+                    )
                 }
             }
             i += 1;
@@ -93,12 +104,20 @@ pub fn truncate(stream: VecStream, cap: usize) -> VecStream {
 pub const VARIANT_COLUMNS: [Variant; 4] =
     [Variant::ErrorRate, Variant::Supervised, Variant::Unsupervised, Variant::Full];
 
+/// Evaluation options for one dataset/seed run: observability is switched
+/// on exactly when the run's signals will be consumed (`--jsonl`).
+pub fn run_options(n_classes: usize, seed: u64, opts: &Options) -> RunOptions {
+    let mut ro = RunOptions::new(n_classes).seed(seed);
+    ro.observability = opts.jsonl.is_some();
+    ro
+}
+
 /// Runs one FiCSUM variant over one dataset/seed.
 pub fn run_variant(name: &str, variant: Variant, seed: u64, opts: &Options) -> RunResult {
     let mut stream = build_stream(name, seed, opts);
     let (d, k) = (stream.dims(), stream.n_classes());
     let mut system = FicsumSystem::with_config(d, k, variant, FicsumConfig::default());
-    evaluate(&mut system, &mut stream, k)
+    evaluate_with(&mut system, &mut stream, &run_options(k, seed, opts))
 }
 
 /// A framework row of Table VI.
@@ -159,7 +178,7 @@ pub fn run_framework(name: &str, framework: Framework, seed: u64, opts: &Options
     let mut stream = build_stream(name, seed, opts);
     let (d, k) = (stream.dims(), stream.n_classes());
     let mut system = framework.build(d, k);
-    evaluate(&mut system, &mut stream, k)
+    evaluate_with(&mut system, &mut stream, &run_options(k, seed, opts))
 }
 
 /// Extracts one metric across per-seed results.
@@ -240,7 +259,7 @@ mod tests {
 
     #[test]
     fn truncate_caps_length() {
-        let s = build_stream("CMC", 1, &Options { seeds: 1, quick: false, only: None });
+        let s = build_stream("CMC", 1, &Options { seeds: 1, quick: false, only: None, jsonl: None });
         let t = truncate(s.clone(), 100);
         assert_eq!(t.len(), 100);
         let untouched = truncate(s.clone(), usize::MAX);
@@ -259,10 +278,10 @@ mod tests {
 
     #[test]
     fn selection_filter() {
-        let o = Options { seeds: 1, quick: false, only: Some("stag".into()) };
+        let o = Options { seeds: 1, quick: false, only: Some("stag".into()), jsonl: None };
         assert!(o.selected("STAGGER"));
         assert!(!o.selected("RBF"));
-        let all = Options { seeds: 1, quick: false, only: None };
+        let all = Options { seeds: 1, quick: false, only: None, jsonl: None };
         assert!(all.selected("anything"));
     }
 }

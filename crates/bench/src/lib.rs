@@ -2,3 +2,4 @@
 //! See the `bin/` directory; shared helpers live in [`harness`].
 
 pub mod harness;
+pub mod jsonl_out;

@@ -1,8 +1,11 @@
 //! The FiCSUM driver — Algorithm 1 of the paper.
 
+use std::sync::Arc;
+
 use ficsum_classifiers::{Classifier, ClassifierFactory};
 use ficsum_drift::{Adwin, DetectorState, DriftDetector};
 use ficsum_meta::{FingerprintEngine, FingerprintExtractor};
+use ficsum_obs::{Clock, DriftTrigger, MonotonicClock, NullRecorder, Recorder, Stage, StreamEvent};
 use ficsum_stream::{BufferedWindow, EwStats, LabeledObservation, TrackedWindow};
 
 use crate::config::{ConfigError, FicsumConfig};
@@ -74,6 +77,8 @@ pub struct Ficsum {
     active_sc: ConceptFingerprint,
 
     repo: Repository,
+    recorder: Box<dyn Recorder>,
+    clock: Arc<dyn Clock>,
     detector: Adwin,
     window_a: TrackedWindow,
     buffer: BufferedWindow,
@@ -129,6 +134,8 @@ impl Ficsum {
             active_retained: Vec::new(),
             active_sc: ConceptFingerprint::new(dims),
             repo,
+            recorder: Box::new(NullRecorder),
+            clock: Arc::new(MonotonicClock::new()),
             detector: Adwin::new(config.detector_delta),
             window_a: TrackedWindow::new(config.window_size, n_features),
             buffer: BufferedWindow::new(config.buffer_delay(), config.window_size, n_features),
@@ -173,6 +180,89 @@ impl Ficsum {
         &self.engine
     }
 
+    /// Attaches an observability recorder: every event, counter, gauge and
+    /// stage span the pipeline produces is delivered to it. The default is
+    /// [`NullRecorder`], whose calls compile to nothing.
+    ///
+    /// Attaching an *enabled* recorder also switches on the fingerprint
+    /// engine's per-source extraction timing (shared clock); attaching a
+    /// disabled one switches it off again.
+    ///
+    /// To read results back after a run, attach a shared handle
+    /// ([`ficsum_obs::shared`]) and keep the other clone, or downcast
+    /// [`Ficsum::recorder`] via [`Recorder::as_any`].
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.engine
+            .set_clock(recorder.enabled().then(|| Arc::clone(&self.clock)));
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.recorder.as_ref()
+    }
+
+    /// Mutable access to the attached recorder.
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        self.recorder.as_mut()
+    }
+
+    /// Replaces the span-timing clock (default: a [`MonotonicClock`]
+    /// anchored at construction). Tests inject a
+    /// [`ficsum_obs::ManualClock`] for bit-reproducible span records.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+        if self.recorder.enabled() {
+            self.engine.set_clock(Some(Arc::clone(&self.clock)));
+        }
+    }
+
+    /// Single emission point for pipeline observations. The legacy accessor
+    /// state (`drift_points`, the similarity trace, `last_similarity`) is
+    /// maintained here as a *view over the same event stream* the recorder
+    /// receives, so the deprecated accessors and an attached recorder can
+    /// never disagree.
+    fn emit(&mut self, event: StreamEvent) {
+        match event {
+            StreamEvent::DriftDetected { .. } => self.drift_points.push(self.t),
+            StreamEvent::SimilarityObserved { value } => {
+                self.last_similarity = Some(value);
+                if let Some(trace) = &mut self.trace {
+                    trace.push((self.t, value));
+                }
+            }
+            _ => {}
+        }
+        self.recorder.event(self.t, event);
+    }
+
+    /// Reads the clock for a span start; 0 (no clock read) when the
+    /// recorder would discard the span anyway.
+    fn span_start(&self) -> u64 {
+        if self.recorder.enabled() {
+            self.clock.now_nanos()
+        } else {
+            0
+        }
+    }
+
+    /// Closes a stage span opened by [`Ficsum::span_start`].
+    fn span_end(&mut self, stage: Stage, start: u64) {
+        if self.recorder.enabled() {
+            self.recorder
+                .span(stage, self.clock.now_nanos().saturating_sub(start));
+        }
+    }
+
+    /// Publishes the active concept's normal-similarity distribution
+    /// `(mu_c, sigma_c, count)` as gauges. Callers gate on
+    /// [`Recorder::enabled`].
+    fn sim_gauges(&mut self) {
+        self.recorder.gauge("ficsum.sim.mean", self.active_sim.mean());
+        self.recorder.gauge("ficsum.sim.std_dev", self.active_sim.std_dev());
+        self.recorder.gauge("ficsum.sim.count", self.active_sim.count() as f64);
+    }
+
     /// Identifier of the currently active concept.
     pub fn active_concept(&self) -> ConceptId {
         self.active_id
@@ -184,6 +274,11 @@ impl Ficsum {
     }
 
     /// Observation indices at which drifts were detected.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach an `ficsum_obs::InMemoryRecorder` via `set_recorder` and read \
+                `InMemoryRecorder::drift_points()` (DriftDetected events) instead"
+    )]
     pub fn drift_points(&self) -> &[u64] {
         &self.drift_points
     }
@@ -205,17 +300,32 @@ impl Ficsum {
 
     /// Starts recording every `(t, Sim(F_c, F_A))` pair fed to the detector
     /// (diagnostics / plots).
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach an `ficsum_obs::InMemoryRecorder` via `set_recorder`; it retains \
+                every SimilarityObserved event without opting in"
+    )]
     pub fn enable_similarity_trace(&mut self) {
         self.trace = Some(Vec::new());
     }
 
     /// The recorded similarity trace, if enabled.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read `ficsum_obs::InMemoryRecorder::similarity_trace()` \
+                (SimilarityObserved events) instead"
+    )]
     pub fn similarity_trace(&self) -> Option<&[(u64, f64)]> {
         self.trace.as_deref()
     }
 
     /// The recorded normal-similarity distribution `(mu_c, sigma_c, count)`
     /// of the active concept.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the `ficsum.sim.mean` / `ficsum.sim.std_dev` / `ficsum.sim.count` \
+                gauges from an attached recorder instead"
+    )]
     pub fn similarity_stats(&self) -> (f64, f64, u64) {
         (self.active_sim.mean(), self.active_sim.std_dev(), self.active_sim.count())
     }
@@ -331,7 +441,10 @@ impl Ficsum {
             retained: std::mem::take(&mut self.active_retained),
             last_active: self.t,
         };
-        self.repo.insert(entry);
+        if let Some(evicted) = self.repo.insert(entry) {
+            self.emit(StreamEvent::RepositoryEvicted { id: evicted as u64 });
+            self.recorder.counter("ficsum.evictions", 1);
+        }
     }
 
     /// Makes a stored entry the active concept. The similarity baseline is
@@ -415,19 +528,31 @@ impl Ficsum {
     /// Model selection (Algorithm 1 lines 25–35): store the incumbent, test
     /// every stored concept, and activate the best acceptor or a fresh one.
     fn model_select(&mut self, window: &[LabeledObservation]) -> Selection {
+        let from = self.active_id;
         self.store_active();
-        match self.select_best(window) {
-            Some((id, _)) => {
+        let (selection, similarity) = match self.select_best(window) {
+            Some((id, sim)) => {
                 self.activate(id);
                 self.stats.n_reuses += 1;
-                Selection::Reused(id)
+                self.recorder.counter("ficsum.reuses", 1);
+                (Selection::Reused(id), Some(sim))
             }
             None => {
                 self.activate_new();
                 self.stats.n_new_concepts += 1;
-                Selection::New(self.active_id)
+                self.recorder.counter("ficsum.new_concepts", 1);
+                (Selection::New(self.active_id), None)
             }
+        };
+        self.emit(StreamEvent::ConceptSwitch {
+            from: from as u64,
+            to: self.active_id as u64,
+            similarity,
+        });
+        if self.recorder.enabled() {
+            self.sim_gauges();
         }
+        selection
     }
 
     /// Second model-selection pass `w` observations after every drift
@@ -451,6 +576,7 @@ impl Ficsum {
         if best_sim <= incumbent_sim {
             return;
         }
+        let from = self.active_id;
         if incumbent_new {
             // Drop the newcomer entirely.
             self.activate(id);
@@ -459,6 +585,15 @@ impl Ficsum {
             self.activate(id);
         }
         self.stats.n_recheck_switches += 1;
+        self.recorder.counter("ficsum.recheck_switches", 1);
+        self.emit(StreamEvent::ConceptSwitch {
+            from: from as u64,
+            to: self.active_id as u64,
+            similarity: Some(best_sim),
+        });
+        if self.recorder.enabled() {
+            self.sim_gauges();
+        }
         self.buffer.clear();
         self.detector.reset();
         self.extreme_streak = 0;
@@ -494,6 +629,8 @@ impl Ficsum {
                 self.active_fp.reset_dims(|i| schema.dims[i].depends_on_classifier());
                 self.active_fp_sel.reset_dims(|i| schema.dims[i].depends_on_classifier());
                 self.stats.n_plasticity_resets += 1;
+                self.emit(StreamEvent::PlasticityReset);
+                self.recorder.counter("ficsum.plasticity_resets", 1);
                 // The reset dimensions read as empty until buffer windows
                 // refill them; comparing against the half-empty fingerprint
                 // would register as (false) drift.
@@ -514,12 +651,21 @@ impl Ficsum {
 
         // Periodic fingerprint update + drift check (lines 16–24).
         if self.t % self.config.fingerprint_gap as u64 == 0 && self.window_a.is_full() {
-            self.weights = DynamicWeights::compute(
+            let obs_on = self.recorder.enabled();
+            let t0 = self.span_start();
+            self.weights = DynamicWeights::compute_recorded(
                 &self.active_fp,
                 &self.repo,
                 &self.normalizer,
                 self.config.sigma_floor,
+                &mut *self.recorder,
             );
+            self.span_end(Stage::RepositoryReassess, t0);
+            if obs_on {
+                let dims = self.weights.values.len() as u64;
+                let spread = self.weights.spread();
+                self.emit(StreamEvent::WeightsRecomputed { dims, spread });
+            }
 
             let mut force_drift = false;
             if self.buffer.stale().is_full() {
@@ -528,9 +674,13 @@ impl Ficsum {
                 // re-predicted error profiles are stable within a concept and
                 // jump when the labelling function moves, giving both a clean
                 // detection signal and consistency with model selection.
+                let t0 = self.span_start();
                 let f_b = self
                     .engine
                     .extract_tracked_repredicted(self.buffer.stale(), self.active_clf.as_ref());
+                self.span_end(Stage::Extract, t0);
+                self.emit(StreamEvent::FingerprintExtracted { dims: f_b.len() as u64 });
+                let t0 = self.span_start();
                 self.normalizer.observe(&f_b);
                 let mut incorporate = true;
                 if self.active_fp.is_trained() {
@@ -558,24 +708,30 @@ impl Ficsum {
                     } else {
                         self.baseline_outliers = 0;
                         self.active_sim.push(norm_sim);
+                        self.emit(StreamEvent::BaselineAbsorbed { value: norm_sim });
+                        if obs_on {
+                            self.sim_gauges();
+                        }
                     }
                 }
                 if incorporate {
                     self.active_fp.incorporate(&f_b);
                     self.active_fp_sel.incorporate(&f_b);
                 }
+                self.span_end(Stage::Similarity, t0);
             }
 
             if self.active_fp.n_incorporated() >= 2 && self.t >= self.cooldown_until {
+                let t0 = self.span_start();
                 let f_a = self
                     .engine
                     .extract_tracked_repredicted(&self.window_a, self.active_clf.as_ref());
+                self.span_end(Stage::Extract, t0);
+                self.emit(StreamEvent::FingerprintExtracted { dims: f_a.len() as u64 });
+                let t0 = self.span_start();
                 self.normalizer.observe(&f_a);
                 let sim_a = self.similarity(&self.active_fp.mean_vector(), &f_a);
-                self.last_similarity = Some(sim_a);
-                if let Some(trace) = &mut self.trace {
-                    trace.push((self.t, sim_a));
-                }
+                self.emit(StreamEvent::SimilarityObserved { value: sim_a });
                 // Retain occasional selection-space pairs: the selection
                 // fingerprint's mean against this window re-predicted
                 // through the classifier — exactly the comparison model
@@ -595,6 +751,8 @@ impl Ficsum {
                         self.active_retained.remove(0);
                     }
                 }
+                self.span_end(Stage::Similarity, t0);
+                let t0 = self.span_start();
                 // Standardise against the recorded normal similarity
                 // distribution (mu_c, sigma_c): raw cosine values are
                 // compressed near 1 and their scale varies by dataset, while
@@ -617,12 +775,23 @@ impl Ficsum {
                 }
                 let adwin_fired = self.detector.add(detector_input) == DetectorState::Drift;
                 let hard_fired = self.extreme_streak >= self.config.hard_consecutive;
+                self.span_end(Stage::DriftCheck, t0);
                 if adwin_fired || hard_fired || force_drift {
                     self.stats.n_drifts += 1;
-                    self.drift_points.push(self.t);
+                    let trigger = if adwin_fired {
+                        DriftTrigger::Detector
+                    } else if hard_fired {
+                        DriftTrigger::HardStreak
+                    } else {
+                        DriftTrigger::OutlierRun
+                    };
+                    self.emit(StreamEvent::DriftDetected { trigger });
+                    self.recorder.counter("ficsum.drifts", 1);
                     outcome.drift = true;
                     let a_window = self.window_a.to_vec();
+                    let t0 = self.span_start();
                     let selection = self.model_select(&a_window);
+                    self.span_end(Stage::RepositoryReassess, t0);
                     outcome.concept_switched = true;
                     self.buffer.clear();
                     self.detector.reset();
@@ -655,12 +824,14 @@ impl Ficsum {
             && self.window_a.is_full()
             && !self.repo.is_empty()
         {
+            let t0 = self.span_start();
             for entry in self.repo.iter_mut() {
                 let raw = self
                     .engine
                     .extract_tracked_repredicted(&self.window_a, entry.classifier.as_ref());
                 entry.sc_fingerprint.incorporate(&raw);
             }
+            self.span_end(Stage::RepositoryReassess, t0);
         }
 
         // Delayed second model-selection pass (Section III-A).
@@ -669,10 +840,24 @@ impl Ficsum {
                 self.pending_recheck = None;
                 let before = self.active_id;
                 let window = self.window_a.to_vec();
+                let t0 = self.span_start();
                 self.run_recheck(&window, recheck.created_new);
+                self.span_end(Stage::RepositoryReassess, t0);
                 if self.active_id != before {
                     outcome.concept_switched = true;
                 }
+            }
+        }
+
+        // Periodically surface the engine's cumulative per-source extraction
+        // cost (enabled recorders share the framework clock with the
+        // engine, see `set_recorder`).
+        if self.recorder.enabled()
+            && self.t % self.config.repository_gap as u64 == 0
+            && self.engine.timing_enabled()
+        {
+            for (name, nanos) in self.engine.source_timings() {
+                self.recorder.gauge(&format!("ficsum.extract.src.{name}"), nanos as f64);
             }
         }
 

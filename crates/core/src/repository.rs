@@ -102,8 +102,16 @@ impl Repository {
     }
 
     /// Inserts (or replaces) an entry, evicting the least-recently-active
-    /// stored concept when the bound is exceeded.
-    pub fn insert(&mut self, entry: ConceptEntry) {
+    /// stored concept when the bound is exceeded. Returns the id of the
+    /// evicted concept, if any.
+    ///
+    /// Ids must stay stable across a take/insert round trip (a concept that
+    /// leaves the repository while active and returns later keeps its
+    /// identity for C-F1), so inserting never renumbers — instead the
+    /// allocator is advanced past `entry.id`, ensuring an externally
+    /// constructed entry can never collide with a later [`Repository::allocate_id`].
+    pub fn insert(&mut self, entry: ConceptEntry) -> Option<ConceptId> {
+        self.next_id = self.next_id.max(entry.id + 1);
         if let Some(pos) = self.entries.iter().position(|e| e.id == entry.id) {
             self.entries[pos] = entry;
         } else {
@@ -116,9 +124,10 @@ impl Repository {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_active)
             {
-                self.entries.remove(pos);
+                return Some(self.entries.remove(pos).id);
             }
         }
+        None
     }
 
     /// Removes and returns the entry with `id`.
@@ -201,11 +210,36 @@ mod tests {
         let mut r = Repository::new(2);
         let old = entry(&mut r, 1);
         let mid = entry(&mut r, 5);
-        let new = entry(&mut r, 9);
+        let id = r.allocate_id();
+        let mut e = ConceptEntry::new(id, 4, Box::new(MajorityClass::new(2, 2)));
+        e.last_active = 9;
+        let evicted = r.insert(e);
         assert_eq!(r.len(), 2);
+        assert_eq!(evicted, Some(old), "insert must report the evicted id");
         assert!(r.get(old).is_none(), "oldest must be evicted");
         assert!(r.get(mid).is_some());
-        assert!(r.get(new).is_some());
+        assert!(r.get(id).is_some());
+    }
+
+    #[test]
+    fn insert_advances_the_allocator_past_manual_ids() {
+        let mut r = Repository::new(0);
+        // An entry constructed without going through allocate_id.
+        r.insert(ConceptEntry::new(7, 4, Box::new(MajorityClass::new(2, 2))));
+        let next = r.allocate_id();
+        assert!(next > 7, "allocate_id must never reissue a stored id, got {next}");
+    }
+
+    #[test]
+    fn id_survives_take_and_reinsert() {
+        let mut r = Repository::new(0);
+        let id = entry(&mut r, 3);
+        let _churn = entry(&mut r, 4);
+        let e = r.take(id).expect("present");
+        assert_eq!(e.id, id);
+        r.insert(e);
+        assert_eq!(r.get(id).map(|e| e.id), Some(id));
+        assert!(r.allocate_id() > id);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Builder and the paper's ablation variants.
 
+use std::sync::Arc;
+
 use ficsum_classifiers::{Classifier, ClassifierFactory, HoeffdingTree};
 use ficsum_meta::{FingerprintExtractor, MetaFunction, SourceSelection};
+use ficsum_obs::{Clock, Recorder};
 
 use crate::config::{ConfigError, FicsumConfig};
 use crate::framework::Ficsum;
@@ -64,6 +67,8 @@ pub struct FicsumBuilder {
     config: FicsumConfig,
     variant: Variant,
     factory: Option<Box<dyn ClassifierFactory>>,
+    recorder: Option<Box<dyn Recorder>>,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl FicsumBuilder {
@@ -75,6 +80,8 @@ impl FicsumBuilder {
             config: FicsumConfig::default(),
             variant: Variant::Full,
             factory: None,
+            recorder: None,
+            clock: None,
         }
     }
 
@@ -97,6 +104,21 @@ impl FicsumBuilder {
         self
     }
 
+    /// Attaches an observability recorder (default:
+    /// [`ficsum_obs::NullRecorder`] — zero cost). Keep a shared handle
+    /// ([`ficsum_obs::shared`]) to read signals back after the run.
+    pub fn recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Overrides the span-timing clock (default: a monotonic wall clock;
+    /// tests pass a [`ficsum_obs::ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Builds the framework instance.
     ///
     /// Fails with a [`ConfigError`] if the hyper-parameters are invalid
@@ -107,13 +129,21 @@ impl FicsumBuilder {
         let factory = self.factory.unwrap_or_else(|| {
             Box::new(move || Box::new(HoeffdingTree::new(nf, nc)) as Box<dyn Classifier>)
         });
-        Ficsum::from_parts(
+        let mut ficsum = Ficsum::from_parts(
             self.n_features,
             self.n_classes,
             self.config,
             self.variant.extractor(self.n_features),
             factory,
-        )
+        )?;
+        // Clock first: set_recorder snapshots it into the engine.
+        if let Some(clock) = self.clock {
+            ficsum.set_clock(clock);
+        }
+        if let Some(recorder) = self.recorder {
+            ficsum.set_recorder(recorder);
+        }
+        Ok(ficsum)
     }
 }
 

@@ -13,6 +13,8 @@
 //!   stored classifier's behaviour on current data has moved from its stored
 //!   behaviour).
 
+use ficsum_obs::Recorder;
+
 use crate::fingerprint::{ConceptFingerprint, FingerprintNormalizer};
 use crate::repository::Repository;
 
@@ -103,6 +105,39 @@ impl DynamicWeights {
             }
         }
         Self { values }
+    }
+
+    /// Same as [`DynamicWeights::compute`], publishing the recomputed
+    /// vector's shape to `recorder`: gauges `ficsum.weights.spread` and
+    /// `ficsum.weights.max`. A disabled recorder skips the derived
+    /// statistics entirely.
+    pub fn compute_recorded(
+        active: &ConceptFingerprint,
+        repo: &Repository,
+        normalizer: &FingerprintNormalizer,
+        sigma_floor: f64,
+        recorder: &mut dyn Recorder,
+    ) -> Self {
+        let w = Self::compute(active, repo, normalizer, sigma_floor);
+        if recorder.enabled() {
+            recorder.gauge("ficsum.weights.spread", w.spread());
+            recorder.gauge("ficsum.weights.max", w.values.iter().copied().fold(0.0, f64::max));
+        }
+        w
+    }
+
+    /// Max-minus-min of the weight values: 0 for uniform weights, larger as
+    /// the weighting concentrates on few discriminative dimensions. The
+    /// vector is mean-1 normalised, so spreads are comparable across
+    /// recomputations.
+    pub fn spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi >= lo { hi - lo } else { 0.0 }
     }
 }
 
@@ -208,6 +243,41 @@ mod tests {
         let repo = Repository::new(0);
         let w = DynamicWeights::compute(&active, &repo, &unit_normalizer(active.dims()), 0.01);
         assert!(w.values.iter().all(|v| v.is_finite() && *v > 0.0), "{:?}", w.values);
+    }
+
+    #[test]
+    fn spread_is_zero_for_uniform_weights() {
+        assert_eq!(DynamicWeights::uniform(5).spread(), 0.0);
+        let w = DynamicWeights { values: vec![0.5, 1.0, 1.5] };
+        assert!((w.spread() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_recorded_publishes_gauges() {
+        use ficsum_obs::{InMemoryRecorder, NullRecorder};
+        let mut active = ConceptFingerprint::new(2);
+        for i in 0..10 {
+            active.incorporate(&[0.1 * i as f64, 0.5]);
+        }
+        let repo = Repository::new(0);
+        let mut rec = InMemoryRecorder::new();
+        let w = DynamicWeights::compute_recorded(
+            &active,
+            &repo,
+            &unit_normalizer(2),
+            0.01,
+            &mut rec,
+        );
+        assert_eq!(rec.gauge_value("ficsum.weights.spread"), Some(w.spread()));
+        // A disabled recorder produces the same weights and no gauges.
+        let w2 = DynamicWeights::compute_recorded(
+            &active,
+            &repo,
+            &unit_normalizer(2),
+            0.01,
+            &mut NullRecorder,
+        );
+        assert_eq!(w, w2);
     }
 
     #[test]

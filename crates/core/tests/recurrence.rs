@@ -95,6 +95,56 @@ fn disabling_second_check_is_respected() {
     assert_eq!(system.stats().n_recheck_switches, 0);
 }
 
+/// Regression: a concept that leaves the repository while active and is
+/// stored again later must keep its `ConceptId`. The repository's insert
+/// used to leave the id allocator untouched, so an entry whose id had not
+/// passed through `allocate_id` could collide with a later allocation —
+/// two concepts sharing an id breaks both recurrence lookup and the C-F1
+/// identity mapping.
+#[test]
+fn reinserted_concepts_keep_their_identity() {
+    use ficsum_obs::{shared, InMemoryRecorder};
+    let keep = shared(InMemoryRecorder::new());
+    let mut system = FicsumBuilder::new(3, 2)
+        .config(quick())
+        .recorder(Box::new(keep.clone()))
+        .build()
+        .unwrap();
+    let mut gens = stagger_gens(2);
+    for seg in 0..10 {
+        let g = &mut gens[seg % 2];
+        for _ in 0..700 {
+            let o = g.generate();
+            system.process(&o.features, o.label);
+        }
+    }
+    // Every id on the switch path must be unique per concept: the same id
+    // never refers to two simultaneously live entries, i.e. the active id
+    // is never also stored in the repository.
+    let repo_ids: Vec<_> = system.repository().iter().map(|e| e.id).collect();
+    let mut sorted = repo_ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), repo_ids.len(), "duplicate ids stored: {repo_ids:?}");
+    assert!(
+        !repo_ids.contains(&system.active_concept()),
+        "active id {} must not also be stored: {repo_ids:?}",
+        system.active_concept()
+    );
+    // A reuse means some id was taken out and, at the next switch, stored
+    // back. Its identity must survive the round trip: the recorded switch
+    // sequence must show the reused id coming back as a `to` after having
+    // been a `from`.
+    let switches = keep.borrow().concept_switches();
+    let stats = system.stats();
+    if stats.n_reuses + stats.n_recheck_switches > 0 {
+        let reused = switches
+            .iter()
+            .any(|&(_, _, to)| switches.iter().any(|&(_, from, _)| from == to));
+        assert!(reused, "a reuse must bring back a previously active id: {switches:?}");
+    }
+}
+
 #[test]
 fn weights_adapt_away_from_uniform_once_repository_exists() {
     let mut system = FicsumBuilder::new(3, 2).config(quick()).build().unwrap();

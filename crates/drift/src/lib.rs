@@ -22,6 +22,7 @@ pub mod detector;
 pub mod eddm;
 pub mod hddm;
 pub mod page_hinkley;
+pub mod recorded;
 
 pub use adwin::Adwin;
 pub use ddm::Ddm;
@@ -29,3 +30,4 @@ pub use detector::{DetectorState, DriftDetector};
 pub use eddm::Eddm;
 pub use hddm::HddmA;
 pub use page_hinkley::PageHinkley;
+pub use recorded::RecordedDetector;

@@ -119,6 +119,8 @@ mod tests {
             runtime_s: 1.5,
             n_observations: 100,
             n_models: 2,
+            seed: 0,
+            observability: None,
         }
     }
 

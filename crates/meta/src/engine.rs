@@ -30,7 +30,10 @@
 //! is the reference the engine is tested against, and the baseline for the
 //! throughput comparison in `ficsum-bench`.
 
+use std::sync::Arc;
+
 use ficsum_classifiers::Classifier;
+use ficsum_obs::Clock;
 use ficsum_stream::{LabeledObservation, Moments, TrackedWindow};
 
 use crate::autocorr::{autocorrelation, partial_autocorrelation};
@@ -92,6 +95,14 @@ pub struct FingerprintEngine {
     /// Re-predicted labels for [`FingerprintEngine::extract_repredicted`].
     preds: Vec<usize>,
     workers: Vec<SourceScratch>,
+    /// Span clock for per-source timing; `None` = timing off (zero cost).
+    clock: Option<Arc<dyn Clock>>,
+    /// Cumulative nanoseconds spent evaluating each source, aligned with
+    /// `kinds`. Parallel workers write disjoint slots, so sequential and
+    /// parallel attribution use identical bookkeeping.
+    source_nanos: Vec<u64>,
+    /// Extractions measured since the last [`FingerprintEngine::reset_timings`].
+    timed_extractions: u64,
 }
 
 impl FingerprintEngine {
@@ -115,6 +126,9 @@ impl FingerprintEngine {
             tracked: Vec::new(),
             preds: Vec::new(),
             workers: vec![SourceScratch::default()],
+            clock: None,
+            source_nanos: vec![0; n_sources],
+            timed_extractions: 0,
         }
     }
 
@@ -160,6 +174,45 @@ impl FingerprintEngine {
     /// Whether incremental moment substitution is enabled.
     pub fn incremental_moments(&self) -> bool {
         self.incremental_moments
+    }
+
+    /// Enables per-source extraction timing against `clock` (pass `None` to
+    /// disable — the default, with zero cost on the extraction path). The
+    /// clock is shared, not owned, so the framework, engine and tests can
+    /// observe one coherent timeline; the parallel fan-out reads the same
+    /// clock from every worker, which is why [`Clock`] is `Send + Sync`.
+    pub fn set_clock(&mut self, clock: Option<Arc<dyn Clock>>) {
+        self.clock = clock;
+    }
+
+    /// Whether per-source timing is active.
+    pub fn timing_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Cumulative nanoseconds spent evaluating each behaviour source since
+    /// timing was enabled (or last reset), as `(source name, nanos)` in
+    /// schema order. Empty when timing is off.
+    pub fn source_timings(&self) -> Vec<(String, u64)> {
+        if self.clock.is_none() {
+            return Vec::new();
+        }
+        self.kinds
+            .iter()
+            .zip(&self.source_nanos)
+            .map(|(k, &n)| (k.name(), n))
+            .collect()
+    }
+
+    /// Number of extractions measured since the last reset.
+    pub fn timed_extractions(&self) -> u64 {
+        self.timed_extractions
+    }
+
+    /// Zeroes the per-source timing accumulators.
+    pub fn reset_timings(&mut self) {
+        self.source_nanos.iter_mut().for_each(|n| *n = 0);
+        self.timed_extractions = 0;
     }
 
     /// The wrapped configuration.
@@ -389,6 +442,11 @@ impl FingerprintEngine {
         let mi_bins = self.extractor.mi_bins();
         let tracked = &self.tracked;
         let seqs = &self.seqs;
+        let clock = self.clock.clone();
+        let nanos = &mut self.source_nanos;
+        if self.timed_extractions < u64::MAX {
+            self.timed_extractions += clock.is_some() as u64;
+        }
         let tracked_of = |i: usize| tracked.get(i).copied().flatten();
         let n_workers = self.threads.min(self.kinds.len());
         if n_workers <= 1 {
@@ -396,7 +454,10 @@ impl FingerprintEngine {
                 self.workers.push(SourceScratch::default());
             }
             let worker = &mut self.workers[0];
-            for (i, (seq, chunk)) in seqs.iter().zip(out.chunks_mut(nf)).enumerate() {
+            for (i, ((seq, chunk), nano)) in
+                seqs.iter().zip(out.chunks_mut(nf)).zip(nanos.iter_mut()).enumerate()
+            {
+                let t0 = clock.as_deref().map(Clock::now_nanos);
                 eval_source_into(
                     seq,
                     functions,
@@ -407,26 +468,37 @@ impl FingerprintEngine {
                     worker,
                     chunk,
                 );
+                if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
+                    *nano += c.now_nanos().saturating_sub(t0);
+                }
             }
         } else {
             if self.workers.len() < n_workers {
                 self.workers.resize_with(n_workers, SourceScratch::default);
             }
             // Round-robin the sources over the workers; each work item owns
-            // a disjoint slice of `out`, so no synchronisation is needed and
-            // the result cannot depend on scheduling.
-            let mut batches: Vec<Vec<(&[f64], Option<TrackedVals>, &mut [f64])>> =
+            // a disjoint slice of `out` (and its own timing slot), so no
+            // synchronisation is needed and the result cannot depend on
+            // scheduling.
+            let mut batches: Vec<Vec<(&[f64], Option<TrackedVals>, &mut [f64], &mut u64)>> =
                 (0..n_workers).map(|_| Vec::new()).collect();
-            for (i, (seq, chunk)) in seqs.iter().zip(out.chunks_mut(nf)).enumerate() {
-                batches[i % n_workers].push((seq, tracked_of(i), chunk));
+            for (i, ((seq, chunk), nano)) in
+                seqs.iter().zip(out.chunks_mut(nf)).zip(nanos.iter_mut()).enumerate()
+            {
+                batches[i % n_workers].push((seq, tracked_of(i), chunk, nano));
             }
             std::thread::scope(|scope| {
                 for (worker, batch) in self.workers.iter_mut().zip(batches) {
+                    let clock = clock.clone();
                     scope.spawn(move || {
-                        for (seq, tv, chunk) in batch {
+                        for (seq, tv, chunk, nano) in batch {
+                            let t0 = clock.as_deref().map(Clock::now_nanos);
                             eval_source_into(
                                 seq, functions, needs_emd, &emd_cfg, mi_bins, tv, worker, chunk,
                             );
+                            if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
+                                *nano += c.now_nanos().saturating_sub(t0);
+                            }
                         }
                     });
                 }
@@ -704,6 +776,45 @@ mod tests {
                 "dim {i}: batch {b} vs tracked {t}"
             );
         }
+    }
+
+    #[test]
+    fn per_source_timing_covers_sequential_and_parallel_paths() {
+        use ficsum_obs::MonotonicClock;
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let d = 6;
+        let w = window(&mut rng, 80, d, 2);
+        for threads in [1, 3] {
+            let mut engine =
+                FingerprintEngine::new(FingerprintExtractor::full(d)).with_threads(threads);
+            assert!(!engine.timing_enabled());
+            assert!(engine.source_timings().is_empty());
+            engine.set_clock(Some(Arc::new(MonotonicClock::new())));
+            assert!(engine.timing_enabled());
+            let _ = engine.extract(&w, None);
+            let _ = engine.extract(&w, None);
+            assert_eq!(engine.timed_extractions(), 2, "threads={threads}");
+            let timings = engine.source_timings();
+            assert_eq!(timings.len(), d + 4, "one slot per behaviour source");
+            assert!(
+                timings.iter().any(|(_, n)| *n > 0),
+                "threads={threads}: wall clock must attribute some cost"
+            );
+            engine.reset_timings();
+            assert_eq!(engine.timed_extractions(), 0);
+            assert!(engine.source_timings().iter().all(|(_, n)| *n == 0));
+        }
+    }
+
+    #[test]
+    fn timing_does_not_perturb_extraction_values() {
+        use ficsum_obs::ManualClock;
+        let mut rng = Xoshiro256pp::seed_from_u64(22);
+        let w = window(&mut rng, 60, 3, 2);
+        let mut plain = FingerprintEngine::new(FingerprintExtractor::full(3));
+        let mut timed = FingerprintEngine::new(FingerprintExtractor::full(3));
+        timed.set_clock(Some(Arc::new(ManualClock::new())));
+        assert_eq!(plain.extract(&w, None), timed.extract(&w, None));
     }
 
     #[test]

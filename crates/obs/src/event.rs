@@ -1,0 +1,152 @@
+//! Typed events and stage names emitted by the pipeline.
+
+/// The four pipeline stages whose cost is tracked with monotonic spans.
+///
+/// Names are stable: they key the per-stage histograms of
+/// [`crate::InMemoryRecorder`] and the `"stage"` field of the JSONL schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Meta-feature extraction of a window (the fingerprint engine).
+    Extract,
+    /// Fingerprint similarity computation and baseline maintenance.
+    Similarity,
+    /// Feeding the detector and deciding whether a drift fired.
+    DriftCheck,
+    /// Repository work after a drift: model selection, re-checks and the
+    /// periodic non-active fingerprint refresh.
+    RepositoryReassess,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 4] =
+        [Stage::Extract, Stage::Similarity, Stage::DriftCheck, Stage::RepositoryReassess];
+
+    /// Stable snake-case name (used in the JSONL schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Extract => "extract",
+            Stage::Similarity => "similarity",
+            Stage::DriftCheck => "drift_check",
+            Stage::RepositoryReassess => "repository_reassess",
+        }
+    }
+}
+
+/// Which mechanism confirmed a drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftTrigger {
+    /// The ADWIN detector over the standardised similarity stream.
+    Detector,
+    /// Several consecutive checks far outside the recorded normal band.
+    HardStreak,
+    /// A long run of baseline-outlier windows.
+    OutlierRun,
+}
+
+impl DriftTrigger {
+    /// Stable snake-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftTrigger::Detector => "detector",
+            DriftTrigger::HardStreak => "hard_streak",
+            DriftTrigger::OutlierRun => "outlier_run",
+        }
+    }
+}
+
+/// A typed event on the observation stream.
+///
+/// Events carry concept identifiers as plain `u64` so this crate stays
+/// independent of `ficsum-core`; the framework's `ConceptId` converts
+/// losslessly. The observation index `t` at which an event happened is
+/// passed alongside the event in [`crate::Recorder::event`], not stored in
+/// the event itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A concept drift was confirmed.
+    DriftDetected {
+        /// What confirmed it.
+        trigger: DriftTrigger,
+    },
+    /// The detector entered its warning zone (detectors that have one).
+    DetectorWarning,
+    /// Model selection switched the active concept.
+    ConceptSwitch {
+        /// Concept active before the switch.
+        from: u64,
+        /// Concept active after the switch.
+        to: u64,
+        /// Similarity the winning concept scored during selection
+        /// (`None` when a brand-new concept was created).
+        similarity: Option<f64>,
+    },
+    /// A fingerprint was extracted from a window.
+    FingerprintExtracted {
+        /// Dimensions of the fingerprint vector.
+        dims: u64,
+    },
+    /// The similarity `Sim(F_c, F_A)` fed to the drift detector.
+    SimilarityObserved {
+        /// The weighted-cosine similarity value.
+        value: f64,
+    },
+    /// A buffered-window similarity was absorbed into the active concept's
+    /// normal-similarity distribution `(mu_c, sigma_c)`.
+    BaselineAbsorbed {
+        /// The absorbed similarity value.
+        value: f64,
+    },
+    /// The dynamic meta-feature weights were recomputed.
+    WeightsRecomputed {
+        /// Number of weight dimensions.
+        dims: u64,
+        /// `max(w) - min(w)` after mean-normalisation — how far from
+        /// uniform the weighting currently is.
+        spread: f64,
+    },
+    /// A stored concept was evicted from the bounded repository.
+    RepositoryEvicted {
+        /// Identifier of the evicted concept.
+        id: u64,
+    },
+    /// Classifier-dependent fingerprint dimensions were reset after a
+    /// significant classifier change (Section IV plasticity).
+    PlasticityReset,
+}
+
+impl StreamEvent {
+    /// Stable snake-case event name (the `"event"` field of the JSONL
+    /// schema and the per-event counters of [`crate::InMemoryRecorder`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamEvent::DriftDetected { .. } => "drift_detected",
+            StreamEvent::DetectorWarning => "detector_warning",
+            StreamEvent::ConceptSwitch { .. } => "concept_switch",
+            StreamEvent::FingerprintExtracted { .. } => "fingerprint_extracted",
+            StreamEvent::SimilarityObserved { .. } => "similarity_observed",
+            StreamEvent::BaselineAbsorbed { .. } => "baseline_absorbed",
+            StreamEvent::WeightsRecomputed { .. } => "weights_recomputed",
+            StreamEvent::RepositoryEvicted { .. } => "repository_evicted",
+            StreamEvent::PlasticityReset => "plasticity_reset",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["extract", "similarity", "drift_check", "repository_reassess"]);
+    }
+
+    #[test]
+    fn event_names_are_snake_case() {
+        let ev = StreamEvent::ConceptSwitch { from: 0, to: 1, similarity: Some(0.9) };
+        assert_eq!(ev.name(), "concept_switch");
+        assert_eq!(StreamEvent::DriftDetected { trigger: DriftTrigger::Detector }.name(), "drift_detected");
+    }
+}

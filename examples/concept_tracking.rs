@@ -26,14 +26,29 @@ fn main() {
         ),
     ];
 
-    println!("{:<8} {:>7} {:>7} {:>8}", "system", "kappa", "C-F1", "models");
+    println!(
+        "{:<8} {:>7} {:>7} {:>8} {:>7} {:>9}",
+        "system", "kappa", "C-F1", "models", "drifts", "delay"
+    );
     for (name, mut system) in systems {
         let stream = dataset_by_name(spec.name, 7).unwrap();
         // Cap for example runtime.
         let data: Vec<_> = stream.observations().iter().take(12_000).cloned().collect();
         let mut stream = VecStream::with_classes(data, spec.n_classes);
-        let r = evaluate(&mut system, &mut stream, spec.n_classes);
-        println!("{:<8} {:>7.3} {:>7.3} {:>8}", name, r.kappa, r.c_f1, r.n_models);
+        // An observed run also yields event-derived drift accounting —
+        // for systems without recorder support the column stays empty.
+        let r = evaluate_with(&mut system, &mut stream, &RunOptions::new(spec.n_classes).observed());
+        let (drifts, delay) = match &r.observability {
+            Some(obs) => (
+                obs.n_drifts.to_string(),
+                obs.mean_detection_delay.map_or("-".into(), |d| format!("{d:.0}")),
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<8} {:>7.3} {:>7.3} {:>8} {:>7} {:>9}",
+            name, r.kappa, r.c_f1, r.n_models, drifts, delay
+        );
     }
 
     println!("\nARF may win kappa, but with a single evolving model its C-F1 is");

@@ -17,8 +17,12 @@ fn main() {
         stream.n_classes()
     );
 
+    // Keep a handle on the recorder: every drift, concept switch and
+    // stage timing the pipeline emits lands in this shared sink.
+    let recorder = shared(InMemoryRecorder::new());
     let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes())
         .variant(Variant::Full)
+        .recorder(Box::new(recorder.clone()))
         .build()
         .expect("valid FiCSUM configuration");
 
@@ -44,4 +48,21 @@ fn main() {
     println!("concepts reused   : {}", stats.n_reuses);
     println!("concepts created  : {}", stats.n_new_concepts);
     println!("stored concepts   : {}", system.repository().len());
+
+    let rec = recorder.borrow();
+    println!("recorded events   : {}", rec.events().len());
+    let drifts = rec.drift_points();
+    if let (Some(first), Some(last)) = (drifts.first(), drifts.last()) {
+        println!("drift timestamps  : first t={first}, last t={last}");
+    }
+    for stage in Stage::ALL {
+        if let Some(h) = rec.stage_histogram(stage) {
+            println!(
+                "stage {:<20}: {} spans, mean {:.1} us",
+                stage.name(),
+                h.count(),
+                h.mean_nanos() / 1e3
+            );
+        }
+    }
 }

@@ -30,16 +30,25 @@ fn main() {
         .collect();
     let mut stream = RecurringStreamBuilder::new(600, 3).with_recurrences(6).compose(seasons);
 
-    // Compare a supervised-only system against the full fingerprint.
+    // Compare a supervised-only system against the full fingerprint. An
+    // observed run derives drift counts and per-stage costs from the
+    // recorder's event stream.
     for variant in [Variant::ErrorRate, Variant::Full] {
         stream.reset();
         let mut system =
             FicsumSystem::with_config(8, 2, variant, FicsumConfig::default());
-        let result = evaluate(&mut system, &mut stream, 2);
+        let result = evaluate_with(&mut system, &mut stream, &RunOptions::new(2).observed());
         println!(
             "{:<8} kappa={:.3} C-F1={:.3} models={}",
             result.system, result.kappa, result.c_f1, result.n_models
         );
+        if let Some(obs) = &result.observability {
+            let micros = obs.total_stage_nanos() as f64 / 1e3;
+            println!(
+                "         drifts={} detected={}/{} false_alarms={} stage_time={micros:.0}us",
+                obs.n_drifts, obs.detected, obs.n_truth_changes, obs.false_alarms
+            );
+        }
     }
     println!("\nThe full fingerprint tracks seasonal concepts that error-rate");
     println!("monitoring cannot distinguish (the classifier is never wrong more");

@@ -44,6 +44,7 @@
 //! | [`synth`] | `ficsum-synth` | stream generators and the Table II datasets |
 //! | [`baselines`] | `ficsum-baselines` | HTCD, RCD, DWM/ARF adapters |
 //! | [`eval`] | `ficsum-eval` | kappa, C-F1, Friedman/Nemenyi, the runner |
+//! | [`obs`] | `ficsum-obs` | recorders, stream events, stage spans, JSONL sinks |
 
 pub use ficsum_baselines as baselines;
 pub use ficsum_classifiers as classifiers;
@@ -51,6 +52,7 @@ pub use ficsum_core as core;
 pub use ficsum_drift as drift;
 pub use ficsum_eval as eval;
 pub use ficsum_meta as meta;
+pub use ficsum_obs as obs;
 pub use ficsum_stream as stream;
 pub use ficsum_synth as synth;
 
@@ -71,9 +73,19 @@ pub mod prelude {
     pub use ficsum_drift::{
         Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
     };
-    pub use ficsum_eval::{evaluate, EvaluatedSystem, KappaEvaluator, RunResult};
+    pub use ficsum_drift::RecordedDetector;
+    #[allow(deprecated)]
+    pub use ficsum_eval::evaluate;
+    pub use ficsum_eval::{
+        evaluate_with, EvaluatedSystem, KappaEvaluator, ObsSummary, RunOptions, RunResult,
+        StageCost,
+    };
     pub use ficsum_meta::{
         FingerprintEngine, FingerprintExtractor, MetaFunction, SourceSelection,
+    };
+    pub use ficsum_obs::{
+        shared, Clock, DriftTrigger, InMemoryRecorder, JsonlSink, LatencyHistogram, ManualClock,
+        MonotonicClock, NullRecorder, Recorder, SharedRecorder, Stage, StreamEvent,
     };
     pub use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
     pub use ficsum_stream::{

@@ -9,7 +9,7 @@ fn run_system(mut system: impl EvaluatedSystem, name: &str, cap: usize) -> RunRe
     let n_classes = stream.n_classes();
     let data: Vec<_> = stream.observations().iter().take(cap).cloned().collect();
     let mut stream = ficsum::stream::VecStream::with_classes(data, n_classes);
-    evaluate(&mut system, &mut stream, n_classes)
+    evaluate_with(&mut system, &mut stream, &RunOptions::new(n_classes))
 }
 
 #[test]
@@ -64,6 +64,7 @@ fn every_dataset_runs_through_full_ficsum_briefly() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy accessor until its removal
 fn drift_points_are_monotonic_and_counted() {
     let mut stream = dataset_by_name("STAGGER", 5).unwrap();
     let mut system = FicsumBuilder::new(3, 2).build().unwrap();
@@ -89,6 +90,7 @@ fn repository_respects_capacity_bound() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy accessor until its removal
 fn similarity_trace_records_bounded_values() {
     let mut stream = dataset_by_name("RBF", 2).unwrap();
     let mut system = FicsumBuilder::new(10, 3).build().unwrap();

@@ -1,0 +1,96 @@
+//! Golden parity between the observability layer and the deprecated
+//! trace accessors: both views are fed from the same emission point in
+//! `Ficsum::process`, so on an identical run they must agree bit-exactly.
+
+#![allow(deprecated)] // the whole point is comparing against the legacy API
+
+use ficsum::prelude::*;
+
+/// A recurring-concept STAGGER run with both the legacy trace and a
+/// shared in-memory recorder attached.
+fn recorded_run(n: usize) -> (Ficsum, SharedRecorder<InMemoryRecorder>) {
+    let keep = shared(InMemoryRecorder::new());
+    let mut system = FicsumBuilder::new(3, 2)
+        .recorder(Box::new(keep.clone()))
+        .build()
+        .unwrap();
+    system.enable_similarity_trace();
+    let mut stream = ficsum::synth::dataset_by_name("STAGGER", 5).unwrap();
+    for _ in 0..n {
+        let Some(o) = stream.next_observation() else { break };
+        system.process(&o.features, o.label);
+    }
+    (system, keep)
+}
+
+#[test]
+fn drift_points_match_recorded_events_bit_exactly() {
+    let (system, keep) = recorded_run(12_000);
+    let rec = keep.borrow();
+    assert_eq!(system.drift_points(), rec.drift_points().as_slice());
+    assert!(!rec.drift_points().is_empty(), "run must produce drifts");
+    assert_eq!(rec.event_count("drift_detected") as u64, system.stats().n_drifts);
+}
+
+#[test]
+fn similarity_trace_matches_recorded_observations_bit_exactly() {
+    let (system, keep) = recorded_run(12_000);
+    let rec = keep.borrow();
+    let legacy = system.similarity_trace().expect("trace enabled");
+    assert_eq!(legacy, rec.similarity_trace().as_slice());
+    assert!(!legacy.is_empty());
+}
+
+#[test]
+fn similarity_stats_agree_with_recorded_gauges() {
+    let (system, keep) = recorded_run(12_000);
+    let rec = keep.borrow();
+    let (mean, std_dev, count) = system.similarity_stats();
+    // Gauges republish on every baseline absorption and after each model
+    // selection, so the last recorded value equals the live statistics
+    // unless the baseline was reset (count back to 0) with nothing
+    // absorbed since.
+    let gauge = |name: &str| rec.gauges().find(|(n, _)| *n == name).map(|(_, v)| v);
+    let g_count = gauge("ficsum.sim.count").expect("sim gauges published");
+    if count > 0 {
+        assert_eq!(g_count, count as f64);
+        assert_eq!(gauge("ficsum.sim.mean"), Some(mean));
+        assert_eq!(gauge("ficsum.sim.std_dev"), Some(std_dev));
+    }
+    assert!(std_dev >= 0.0);
+}
+
+#[test]
+fn drift_and_switch_events_interleave_in_causal_order() {
+    let (_system, keep) = recorded_run(12_000);
+    let rec = keep.borrow();
+    let drifts = rec.drift_points();
+    let switches = rec.concept_switches();
+    assert!(!switches.is_empty(), "recurring stream must switch concepts");
+    // Every recorded switch happens at the timestamp of some drift or
+    // recheck; switch timestamps are non-decreasing and each model
+    // selection follows the drift that triggered it within the step.
+    assert!(switches.windows(2).all(|w| w[0].0 <= w[1].0));
+    for &(t, _, _) in &switches {
+        assert!(
+            drifts.contains(&t) || switches.iter().filter(|s| s.0 == t).count() == 1,
+            "switch at {t} should coincide with a drift or be a recheck"
+        );
+    }
+}
+
+#[test]
+fn counters_reconcile_with_event_stream() {
+    let (_system, keep) = recorded_run(12_000);
+    let rec = keep.borrow();
+    let drift_counter =
+        rec.counters().find(|(n, _)| *n == "ficsum.drifts").map(|(_, v)| v).unwrap_or(0);
+    assert_eq!(drift_counter, rec.drift_points().len() as u64);
+    let switch_events = rec.event_count("concept_switch") as u64;
+    let reuses = rec
+        .counters()
+        .filter(|(n, _)| *n == "ficsum.reuses" || *n == "ficsum.new_concepts" || *n == "ficsum.recheck_switches")
+        .map(|(_, v)| v)
+        .sum::<u64>();
+    assert_eq!(switch_events, reuses, "every switch is classified exactly once");
+}
