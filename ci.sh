@@ -7,6 +7,9 @@ cd "$(dirname "$0")"
 echo "== build (release) =="
 cargo build --release
 
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests =="
 cargo test -q
 
@@ -19,8 +22,11 @@ echo "== deprecated accessor allowlist =="
 # #[allow(deprecated)], and those annotations may only live in the files
 # below (definitions, the eval shim, re-exports, and the parity /
 # back-compat tests). Anything new must use the Recorder API instead.
+# The same rule covers the deprecated `to_vec` deep-clone window accessors
+# (DESIGN.md "Hot path & allocation budget"): their only allowed
+# annotation is the definition-site shim in crates/stream/src/window.rs.
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
-allowlist='^\./crates/core/src/framework\.rs$|^\./crates/core/src/variant\.rs$|^\./crates/eval/src/runner\.rs$|^\./crates/eval/src/lib\.rs$|^\./src/lib\.rs$|^\./tests/observability\.rs$|^\./tests/integration\.rs$'
+allowlist='^\./crates/core/src/framework\.rs$|^\./crates/core/src/variant\.rs$|^\./crates/eval/src/runner\.rs$|^\./crates/eval/src/lib\.rs$|^\./src/lib\.rs$|^\./tests/observability\.rs$|^\./tests/integration\.rs$|^\./crates/stream/src/window\.rs$'
 offenders=$(grep -rlE 'allow\(deprecated\)' --include='*.rs' ./src ./crates ./tests ./examples \
   | grep -vE "$allowlist" || true)
 if [ -n "$offenders" ]; then
@@ -29,5 +35,18 @@ if [ -n "$offenders" ]; then
   exit 1
 fi
 echo "allowlist clean"
+
+echo "== perf smoke (stream_throughput vs committed baseline) =="
+# Release-mode end-to-end throughput on the default synthetic stream,
+# compared against the committed BENCH_stream.json (DESIGN.md "Hot path &
+# allocation budget"). Fails when steps/sec drops >20% below the baseline.
+if [ ! -f BENCH_stream.json ]; then
+  echo "BENCH_stream.json missing; record it with:" >&2
+  echo "  cargo run --release -p ficsum-bench --features alloc-count \\" >&2
+  echo "    --bin stream_throughput -- --repeat 5 --out BENCH_stream.json" >&2
+  exit 1
+fi
+cargo run --release -q -p ficsum-bench --bin stream_throughput -- \
+  --repeat 3 --check BENCH_stream.json --min-ratio 0.8
 
 echo "ci.sh: all gates passed"

@@ -108,7 +108,8 @@ fn main() {
             .map(|o| o.observation.clone().labeled(clf.predict(o.features())))
             .collect()
     };
-    let legacy_fp = extractor.extract(&relabel(&tracked.to_vec(), &tree), Some(&tree));
+    let contents: Vec<LabeledObservation> = tracked.iter().cloned().collect();
+    let legacy_fp = extractor.extract(&relabel(&contents, &tree), Some(&tree));
     let engine_fp = engine.extract_tracked_repredicted(&tracked, &tree);
     assert_eq!(legacy_fp, engine_fp, "engine must be bit-identical to the legacy path");
 
@@ -123,7 +124,7 @@ fn main() {
         secs,
         w as u64,
         || {
-            let window = tracked.to_vec();
+            let window: Vec<LabeledObservation> = tracked.iter().cloned().collect();
             let relabeled = relabel(&window, &tree);
             std::hint::black_box(extractor.extract(&relabeled, Some(&tree)));
         },

@@ -3,3 +3,5 @@
 
 pub mod harness;
 pub mod jsonl_out;
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;

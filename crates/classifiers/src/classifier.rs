@@ -6,9 +6,18 @@
 /// first, then train on the revealed label. Implementations must be
 /// object-safe so the FiCSUM repository can store heterogeneous classifiers
 /// behind `Box<dyn Classifier>`.
-pub trait Classifier: Send {
+pub trait Classifier: Send + Sync {
     /// Predicts a class label for `x`. Untrained classifiers return 0.
     fn predict(&self, x: &[f64]) -> usize;
+
+    /// Allocation-free prediction: like [`Self::predict`], but given a
+    /// caller-owned scratch vector implementations can reuse for the
+    /// probability work. Must return the same label as `predict`. The
+    /// default ignores the scratch and delegates.
+    fn predict_with(&self, x: &[f64], proba_scratch: &mut Vec<f64>) -> usize {
+        let _ = proba_scratch;
+        self.predict(x)
+    }
 
     /// Class-probability estimates for `x`. The returned vector has
     /// `n_classes` entries summing to 1 (uniform when untrained).
@@ -45,6 +54,28 @@ pub trait Classifier: Send {
     fn feature_contributions(&self, x: &[f64]) -> Option<Vec<f64>> {
         let _ = x;
         None
+    }
+
+    /// Allocation-free variant of [`Self::feature_contributions`]: fills
+    /// `out` and returns `true` when the learner can attribute the
+    /// prediction, returns `false` (leaving `out` unspecified) otherwise.
+    /// `proba_scratch` is caller-owned scratch for the probability walks.
+    /// Must produce the same values as `feature_contributions`.
+    fn contributions_with(
+        &self,
+        x: &[f64],
+        out: &mut Vec<f64>,
+        proba_scratch: &mut Vec<f64>,
+    ) -> bool {
+        let _ = proba_scratch;
+        match self.feature_contributions(x) {
+            Some(c) => {
+                out.clear();
+                out.extend_from_slice(&c);
+                true
+            }
+            None => false,
+        }
     }
 
     /// A rough model-complexity measure (splits for trees, experts for
@@ -98,16 +129,24 @@ pub fn argmax(probs: &[f64]) -> usize {
 /// Utility: normalises a non-negative vector to sum to 1, or returns the
 /// uniform distribution when the sum is zero or non-finite.
 pub fn normalize_or_uniform(mut v: Vec<f64>) -> Vec<f64> {
+    normalize_or_uniform_in_place(&mut v);
+    v
+}
+
+/// In-place [`normalize_or_uniform`]: same result, no allocation when the
+/// vector already has capacity. An empty vector degenerates to `[1.0]`,
+/// matching the by-value version.
+pub fn normalize_or_uniform_in_place(v: &mut Vec<f64>) {
     let sum: f64 = v.iter().sum();
     if sum > 0.0 && sum.is_finite() {
-        for x in &mut v {
+        for x in v.iter_mut() {
             *x /= sum;
         }
     } else {
         let n = v.len().max(1);
-        v = vec![1.0 / n as f64; n];
+        v.clear();
+        v.resize(n, 1.0 / n as f64);
     }
-    v
 }
 
 #[cfg(test)]

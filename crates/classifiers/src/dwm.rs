@@ -148,7 +148,7 @@ impl Classifier for DynamicWeightedMajority {
             return;
         }
         self.n_trained += 1;
-        let update_round = self.n_trained % self.period == 0;
+        let update_round = self.n_trained.is_multiple_of(self.period);
 
         // Record per-expert correctness before training, decay wrong experts
         // on update rounds.

@@ -54,6 +54,15 @@ pub struct SplitCandidate {
     pub merit: f64,
 }
 
+/// Reusable buffers for [`GaussianObserver::best_split_with`]: the class
+/// totals plus the left/right projections for one candidate threshold.
+#[derive(Debug, Clone, Default)]
+pub struct SplitScratch {
+    totals: Vec<f64>,
+    left: Vec<f64>,
+    right: Vec<f64>,
+}
+
 /// Per-attribute observer: one Gaussian per class + attribute range.
 #[derive(Debug, Clone)]
 pub struct GaussianObserver {
@@ -89,9 +98,20 @@ impl GaussianObserver {
     /// Projected class counts `(left, right)` for threshold `t`, using each
     /// class Gaussian's CDF mass.
     pub fn project(&self, t: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        self.project_into(t, &mut left, &mut right);
+        (left, right)
+    }
+
+    /// [`GaussianObserver::project`] into caller-owned buffers (cleared and
+    /// zero-filled first) — the allocation-free core.
+    pub fn project_into(&self, t: f64, left: &mut Vec<f64>, right: &mut Vec<f64>) {
         let k = self.per_class.len();
-        let mut left = vec![0.0; k];
-        let mut right = vec![0.0; k];
+        left.clear();
+        left.resize(k, 0.0);
+        right.clear();
+        right.resize(k, 0.0);
         for (c, s) in self.per_class.iter().enumerate() {
             let n = s.count() as f64;
             if n == 0.0 {
@@ -110,33 +130,45 @@ impl GaussianObserver {
             left[c] = n * frac;
             right[c] = n * (1.0 - frac);
         }
-        (left, right)
     }
 
     /// Best split over `n_candidates` evenly spaced thresholds in the
     /// observed range. Returns `None` when the range is degenerate.
     pub fn best_split(&self, n_candidates: usize) -> Option<SplitCandidate> {
+        self.best_split_with(n_candidates, &mut SplitScratch::default())
+    }
+
+    /// [`GaussianObserver::best_split`] reusing `scratch` — identical result
+    /// (same thresholds, same projection arithmetic, same tie handling),
+    /// with every buffer reused across candidate thresholds and calls.
+    pub fn best_split_with(
+        &self,
+        n_candidates: usize,
+        scratch: &mut SplitScratch,
+    ) -> Option<SplitCandidate> {
         if !self.min.is_finite() || !self.max.is_finite() || self.max - self.min <= f64::EPSILON {
             return None;
         }
-        let totals: Vec<f64> = self.per_class.iter().map(|s| s.count() as f64).collect();
+        let SplitScratch { totals, left, right } = scratch;
+        totals.clear();
+        totals.extend(self.per_class.iter().map(|s| s.count() as f64));
         let n: f64 = totals.iter().sum();
         if n < 2.0 {
             return None;
         }
-        let h_pre = entropy(&totals);
+        let h_pre = entropy(totals);
         let mut best: Option<SplitCandidate> = None;
         for i in 1..=n_candidates {
             let t = self.min + (self.max - self.min) * i as f64 / (n_candidates + 1) as f64;
-            let (left, right) = self.project(t);
+            self.project_into(t, left, right);
             let nl: f64 = left.iter().sum();
             let nr: f64 = right.iter().sum();
             if nl <= 0.0 || nr <= 0.0 {
                 continue;
             }
-            let h_post = (nl * entropy(&left) + nr * entropy(&right)) / n;
+            let h_post = (nl * entropy(left) + nr * entropy(right)) / n;
             let merit = h_pre - h_post;
-            if best.map_or(true, |b| merit > b.merit) {
+            if best.is_none_or(|b| merit > b.merit) {
                 best = Some(SplitCandidate { threshold: t, merit });
             }
         }

@@ -2,8 +2,8 @@
 
 use ficsum_stream::rng::{sample_indices, Xoshiro256pp};
 
-use crate::classifier::{argmax, normalize_or_uniform, Classifier};
-use crate::hoeffding::observer::{entropy, normal_cdf, GaussianObserver};
+use crate::classifier::{argmax, normalize_or_uniform_in_place, Classifier};
+use crate::hoeffding::observer::{entropy, normal_cdf, GaussianObserver, SplitScratch};
 
 /// How leaves turn their sufficient statistics into predictions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +111,12 @@ pub struct HoeffdingTree {
     rng: Xoshiro256pp,
     grew_since_taken: bool,
     n_splits: usize,
+    /// Scratch probability vector for the adaptive-leaf bookkeeping in
+    /// `train`, kept so the hot path never allocates.
+    train_scratch: Vec<f64>,
+    /// Reusable buffers for grace-period split evaluation, kept so the
+    /// periodic [`GaussianObserver::best_split_with`] sweep never allocates.
+    split_scratch: SplitScratch,
 }
 
 impl HoeffdingTree {
@@ -135,6 +141,8 @@ impl HoeffdingTree {
             rng,
             grew_since_taken: false,
             n_splits: 0,
+            train_scratch: Vec::new(),
+            split_scratch: SplitScratch::default(),
         }
     }
 
@@ -196,14 +204,17 @@ impl HoeffdingTree {
         }
     }
 
-    /// Naive-Bayes class log-posteriors at a leaf.
-    fn leaf_nb_proba(&self, leaf: &LeafData, x: &[f64]) -> Vec<f64> {
+    /// Naive-Bayes class log-posteriors at a leaf, written into `out`.
+    fn leaf_nb_proba_into(&self, leaf: &LeafData, x: &[f64], out: &mut Vec<f64>) {
         let total: f64 = leaf.class_counts.iter().sum();
         if total <= 0.0 {
-            return vec![1.0 / self.n_classes as f64; self.n_classes];
+            out.clear();
+            out.resize(self.n_classes, 1.0 / self.n_classes as f64);
+            return;
         }
-        let mut logs = vec![0.0; self.n_classes];
-        for (c, log) in logs.iter_mut().enumerate() {
+        out.clear();
+        out.resize(self.n_classes, 0.0);
+        for (c, log) in out.iter_mut().enumerate() {
             let prior = (leaf.class_counts[c] + 1.0) / (total + self.n_classes as f64);
             *log = prior.ln();
             for (oi, &attr) in leaf.attrs.iter().enumerate() {
@@ -216,28 +227,46 @@ impl HoeffdingTree {
                 *log += -0.5 * z * z - sd.ln();
             }
         }
-        let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        normalize_or_uniform(logs.into_iter().map(|l| (l - max).exp()).collect())
+        let max = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for l in out.iter_mut() {
+            *l = (*l - max).exp();
+        }
+        normalize_or_uniform_in_place(out);
     }
 
-    fn leaf_proba(&self, leaf: &LeafData, x: &[f64]) -> Vec<f64> {
-        let mc = || normalize_or_uniform(leaf.class_counts.clone());
+    fn leaf_proba_into(&self, leaf: &LeafData, x: &[f64], out: &mut Vec<f64>) {
+        let mc = |out: &mut Vec<f64>| {
+            out.clear();
+            out.extend_from_slice(&leaf.class_counts);
+            normalize_or_uniform_in_place(out);
+        };
         match self.config.leaf_prediction {
-            LeafPrediction::MajorityClass => mc(),
-            LeafPrediction::NaiveBayes => self.leaf_nb_proba(leaf, x),
+            LeafPrediction::MajorityClass => mc(out),
+            LeafPrediction::NaiveBayes => self.leaf_nb_proba_into(leaf, x, out),
             LeafPrediction::NaiveBayesAdaptive => {
                 if leaf.nb_correct > leaf.mc_correct {
-                    self.leaf_nb_proba(leaf, x)
+                    self.leaf_nb_proba_into(leaf, x, out)
                 } else {
-                    mc()
+                    mc(out)
                 }
             }
+        }
+    }
+
+    /// Class-probability estimates written into `out` — the zero-allocation
+    /// core [`Classifier::predict_proba`] wraps.
+    pub fn predict_proba_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        let leaf_idx = self.sorted_leaf(x);
+        match &self.nodes[leaf_idx] {
+            Node::Leaf(l) => self.leaf_proba_into(l, x, out),
+            Node::Split { .. } => unreachable!("sorted_leaf returns a leaf"),
         }
     }
 
     /// Attempts to split the leaf at `idx`. Returns whether a split happened.
     fn try_split(&mut self, idx: usize) -> bool {
         let (best, second_merit, leaf_entropy, n, depth) = {
+            let scratch = &mut self.split_scratch;
             let leaf = match &self.nodes[idx] {
                 Node::Leaf(l) => l,
                 Node::Split { .. } => return false,
@@ -253,7 +282,7 @@ impl HoeffdingTree {
             let mut best: Option<(usize, f64, f64)> = None; // (attr, threshold, merit)
             let mut second_merit = 0.0;
             for (oi, obs) in leaf.observers.iter().enumerate() {
-                if let Some(cand) = obs.best_split(self.config.n_split_candidates) {
+                if let Some(cand) = obs.best_split_with(self.config.n_split_candidates, scratch) {
                     match best {
                         Some((_, _, m)) if cand.merit > m => {
                             second_merit = m;
@@ -319,12 +348,17 @@ impl Classifier for HoeffdingTree {
         argmax(&self.predict_proba(x))
     }
 
+    fn predict_with(&self, x: &[f64], proba_scratch: &mut Vec<f64>) -> usize {
+        // Same label as `predict`: the probabilities are computed by the
+        // identical exp/normalise path, only into caller-owned storage.
+        self.predict_proba_into(x, proba_scratch);
+        argmax(proba_scratch)
+    }
+
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let leaf_idx = self.sorted_leaf(x);
-        match &self.nodes[leaf_idx] {
-            Node::Leaf(l) => self.leaf_proba(l, x),
-            Node::Split { .. } => unreachable!("sorted_leaf returns a leaf"),
-        }
+        let mut out = Vec::with_capacity(self.n_classes);
+        self.predict_proba_into(x, &mut out);
+        out
     }
 
     fn train(&mut self, x: &[f64], y: usize) {
@@ -345,12 +379,15 @@ impl Classifier for HoeffdingTree {
 
         // Adaptive-leaf bookkeeping requires predictions *before* training.
         if self.config.leaf_prediction == LeafPrediction::NaiveBayesAdaptive {
+            let mut scratch = std::mem::take(&mut self.train_scratch);
             let (mc_pred, nb_pred) = match &self.nodes[idx] {
                 Node::Leaf(l) => {
-                    (argmax(&l.class_counts), argmax(&self.leaf_nb_proba(l, x)))
+                    self.leaf_nb_proba_into(l, x, &mut scratch);
+                    (argmax(&l.class_counts), argmax(&scratch))
                 }
                 Node::Split { .. } => unreachable!(),
             };
+            self.train_scratch = scratch;
             if let Node::Leaf(l) = &mut self.nodes[idx] {
                 if mc_pred == y {
                     l.mc_correct += 1.0;
@@ -368,7 +405,8 @@ impl Classifier for HoeffdingTree {
             };
             leaf.class_counts[y] += 1.0;
             leaf.weight_seen += 1.0;
-            for (oi, &attr) in leaf.attrs.clone().iter().enumerate() {
+            for oi in 0..leaf.attrs.len() {
+                let attr = leaf.attrs[oi];
                 leaf.observers[oi].observe(x[attr], y);
             }
             leaf.weight_seen - leaf.weight_at_last_eval >= self.config.grace_period as f64
@@ -417,24 +455,46 @@ impl Classifier for HoeffdingTree {
     /// feature. The absolute values, averaged over a window, approximate
     /// Shapley feature importance for trees.
     fn feature_contributions(&self, x: &[f64]) -> Option<Vec<f64>> {
-        let mut contrib = vec![0.0; self.n_features];
-        let pred = self.predict(x);
+        let mut contrib = Vec::new();
+        let mut scratch = Vec::with_capacity(self.n_classes);
+        self.contributions_with(x, &mut contrib, &mut scratch);
+        Some(contrib)
+    }
+
+    fn contributions_with(
+        &self,
+        x: &[f64],
+        out: &mut Vec<f64>,
+        proba_scratch: &mut Vec<f64>,
+    ) -> bool {
+        out.clear();
+        out.resize(self.n_features, 0.0);
+        let pred = self.predict_with(x, proba_scratch);
+        let norm_counts = |counts: &[f64], scratch: &mut Vec<f64>| {
+            scratch.clear();
+            scratch.extend_from_slice(counts);
+            normalize_or_uniform_in_place(scratch);
+            scratch[pred]
+        };
         let mut idx = self.root;
         // Walk internal nodes; every hop credits the split feature with the
         // change in P(pred). Reaching a leaf ends the walk (the hop *into*
         // the leaf was already credited when the leaf was the child).
         while let Node::Split { feature, threshold, class_counts, left, right } = &self.nodes[idx]
         {
-            let p_here = normalize_or_uniform(class_counts.clone())[pred];
+            let p_here = norm_counts(class_counts, proba_scratch);
             let child = if x[*feature] <= *threshold { *left } else { *right };
             let p_child = match &self.nodes[child] {
-                Node::Leaf(l) => self.leaf_proba(l, x)[pred],
-                Node::Split { class_counts, .. } => normalize_or_uniform(class_counts.clone())[pred],
+                Node::Leaf(l) => {
+                    self.leaf_proba_into(l, x, proba_scratch);
+                    proba_scratch[pred]
+                }
+                Node::Split { class_counts, .. } => norm_counts(class_counts, proba_scratch),
             };
-            contrib[*feature] += p_child - p_here;
+            out[*feature] += p_child - p_here;
             idx = child;
         }
-        Some(contrib)
+        true
     }
 }
 

@@ -187,6 +187,11 @@ impl FicsumConfig {
     }
 
     /// Validates parameter sanity, reporting the first violated invariant.
+    ///
+    /// The negated comparisons are deliberate: `!(x > 0.0)` rejects NaN
+    /// along with non-positive values, which `x <= 0.0` would silently
+    /// accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.window_size < 10 {
             return Err(ConfigError::WindowTooSmall);

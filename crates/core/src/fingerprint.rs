@@ -12,17 +12,27 @@ use ficsum_stream::{MinMaxScaler, RunningStats};
 #[derive(Debug, Clone)]
 pub struct FingerprintNormalizer {
     scalers: Vec<MinMaxScaler>,
+    /// Bumped whenever an observation widens any dimension's range; cache
+    /// keys derived from scaled vectors include this.
+    version: u64,
 }
 
 impl FingerprintNormalizer {
     /// Normaliser for `dims` fingerprint dimensions.
     pub fn new(dims: usize) -> Self {
-        Self { scalers: vec![MinMaxScaler::new(); dims] }
+        Self { scalers: vec![MinMaxScaler::new(); dims], version: 0 }
     }
 
     /// Number of dimensions.
     pub fn dims(&self) -> usize {
         self.scalers.len()
+    }
+
+    /// Monotone counter of range-widening observations. Two calls returning
+    /// the same value bracket a region in which `scale` was a fixed
+    /// function.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Widens every dimension's observed range by the raw vector.
@@ -33,9 +43,13 @@ impl FingerprintNormalizer {
     /// time, biasing every later comparison as the range widens.
     pub fn observe(&mut self, raw: &[f64]) {
         debug_assert_eq!(raw.len(), self.scalers.len());
+        let mut widened = false;
         for (&v, s) in raw.iter().zip(&mut self.scalers) {
+            let before = (s.min(), s.max());
             s.observe(v);
+            widened |= (s.min(), s.max()) != before;
         }
+        self.version += widened as u64;
     }
 
     /// Widens every dimension's observed range, then returns the normalised
@@ -50,6 +64,21 @@ impl FingerprintNormalizer {
     pub fn scale(&self, raw: &[f64]) -> Vec<f64> {
         debug_assert_eq!(raw.len(), self.scalers.len());
         raw.iter().zip(&self.scalers).map(|(&v, s)| s.scale(v)).collect()
+    }
+
+    /// [`Self::scale`] into a caller-owned vector (cleared first).
+    pub fn scale_into(&self, raw: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(raw.len(), self.scalers.len());
+        out.clear();
+        out.extend(raw.iter().zip(&self.scalers).map(|(&v, s)| s.scale(v)));
+    }
+
+    /// Normalises a vector in place.
+    pub fn scale_in_place(&self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.scalers.len());
+        for (x, s) in v.iter_mut().zip(&self.scalers) {
+            *x = s.scale(*x);
+        }
     }
 
     /// Observed span (max − min) of dimension `i`; `None` before any
@@ -78,12 +107,21 @@ impl FingerprintNormalizer {
 pub struct ConceptFingerprint {
     stats: Vec<RunningStats>,
     incorporated: u64,
+    /// Bumped on every mutation (incorporate, dimension reset); cache keys
+    /// over the mean vector include this.
+    version: u64,
 }
 
 impl ConceptFingerprint {
     /// Empty fingerprint with `dims` dimensions.
     pub fn new(dims: usize) -> Self {
-        Self { stats: vec![RunningStats::new(); dims], incorporated: 0 }
+        Self { stats: vec![RunningStats::new(); dims], incorporated: 0, version: 0 }
+    }
+
+    /// Monotone mutation counter. Equal values bracket a region in which
+    /// the mean vector was unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Incorporates one raw window fingerprint. A non-finite value in a
@@ -95,6 +133,7 @@ impl ConceptFingerprint {
             s.push(if v.is_finite() { v } else { s.mean() });
         }
         self.incorporated += 1;
+        self.version += 1;
     }
 
     /// Number of fingerprints incorporated so far.
@@ -118,6 +157,12 @@ impl ConceptFingerprint {
         self.stats.iter().map(RunningStats::mean).collect()
     }
 
+    /// [`Self::mean_vector`] into a caller-owned vector (cleared first).
+    pub fn mean_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.stats.iter().map(RunningStats::mean));
+    }
+
     /// Per-dimension mean.
     pub fn mean(&self, dim: usize) -> f64 {
         self.stats[dim].mean()
@@ -137,6 +182,7 @@ impl ConceptFingerprint {
                 s.reset();
             }
         }
+        self.version += 1;
     }
 
     /// Resets every supervised dimension according to `schema`.

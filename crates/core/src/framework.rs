@@ -4,14 +4,14 @@ use std::sync::Arc;
 
 use ficsum_classifiers::{Classifier, ClassifierFactory};
 use ficsum_drift::{Adwin, DetectorState, DriftDetector};
-use ficsum_meta::{FingerprintEngine, FingerprintExtractor};
+use ficsum_meta::{FingerprintEngine, FingerprintExtractor, StaticScan};
 use ficsum_obs::{Clock, DriftTrigger, MonotonicClock, NullRecorder, Recorder, Stage, StreamEvent};
-use ficsum_stream::{BufferedWindow, EwStats, LabeledObservation, TrackedWindow};
+use ficsum_stream::{EwStats, FrameBlock, FrameWindows};
 
 use crate::config::{ConfigError, FicsumConfig};
 use crate::fingerprint::{ConceptFingerprint, FingerprintNormalizer};
 use crate::repository::{ConceptEntry, ConceptId, Repository, RetainedPair};
-use crate::similarity::fingerprint_similarity;
+use crate::similarity::{fingerprint_similarity, fingerprint_similarity_unit, CachedFingerprint};
 use crate::weights::DynamicWeights;
 
 /// What happened while processing one observation.
@@ -56,6 +56,47 @@ pub struct FicsumStats {
     pub n_plasticity_resets: u64,
 }
 
+/// Whether a stored entry participates in the recurrence scan: its
+/// selection fingerprint must be trained and it must carry either enough
+/// similarity history or retained pairs to define an acceptance band.
+fn is_candidate(entry: &ConceptEntry) -> bool {
+    entry.sel_fingerprint.is_trained()
+        && (entry.sim_stats.count() >= 3 || !entry.retained.is_empty())
+}
+
+/// Expected `(mu_s, sigma_s)` of a stored entry's within-concept
+/// similarity (Section IV's record re-basing). The retained
+/// `(F_c snapshot, F_B)` pairs are re-scored in selection space (unit
+/// weights over today's normalisation): their mean is what a genuine
+/// recurrence should score now, their spread the normal variation. Falls
+/// back to the raw recorded `mu_c`/`sigma_c` when no pairs were retained.
+///
+/// A free function (not a method) so the parallel recurrence scan can call
+/// it from worker threads against disjoint entries; `sa`/`sb`/`sims` are
+/// caller-owned scratch reused across entries.
+fn expected_similarity_with(
+    config: &FicsumConfig,
+    normalizer: &FingerprintNormalizer,
+    entry: &ConceptEntry,
+    sa: &mut Vec<f64>,
+    sb: &mut Vec<f64>,
+    sims: &mut Vec<f64>,
+) -> (f64, f64) {
+    if config.rebase_similarity && !entry.retained.is_empty() {
+        sims.clear();
+        for p in &entry.retained {
+            normalizer.scale_into(&p.a, sa);
+            normalizer.scale_into(&p.b, sb);
+            sims.push(fingerprint_similarity_unit(sa, sb));
+        }
+        let mu = sims.iter().sum::<f64>() / sims.len() as f64;
+        let var = sims.iter().map(|s| (s - mu) * (s - mu)).sum::<f64>() / sims.len() as f64;
+        (mu, var.sqrt().max(0.02))
+    } else {
+        (entry.sim_stats.mean(), entry.sim_stats.std_dev().max(0.01))
+    }
+}
+
 /// The FiCSUM framework instance.
 ///
 /// Drive it prequentially with [`Ficsum::process`]; every call predicts,
@@ -80,9 +121,49 @@ pub struct Ficsum {
     recorder: Box<dyn Recorder>,
     clock: Arc<dyn Clock>,
     detector: Adwin,
-    window_a: TrackedWindow,
-    buffer: BufferedWindow,
+    /// Algorithm 1's active window `A` and delayed buffer `B` as views over
+    /// one shared structure-of-arrays frame ring (no per-step clones).
+    frames: FrameWindows,
     weights: DynamicWeights,
+    /// Weight-vector generation: bumped on every actual recompute; part of
+    /// the weighted similarity cache key.
+    weights_gen: u64,
+    /// `(active fingerprint, repository, normaliser)` version stamp at the
+    /// last weight recompute. An equal stamp proves every input the
+    /// computation reads is unchanged, so the recompute is skipped — the
+    /// kept values are bit-identical to what it would produce.
+    weights_stamp: Option<(u64, u64, u64)>,
+    /// Cached scaled+weighted side of the active fingerprint's mean (the
+    /// drift-detection comparisons).
+    active_cache: CachedFingerprint,
+    /// Cached unit-weight side of the active *selection* fingerprint's
+    /// mean; travels with the concept into and out of the repository.
+    active_sel_cache: CachedFingerprint,
+    /// Scratch: fingerprint extracted from the active window.
+    fp_a: Vec<f64>,
+    /// Scratch: fingerprint extracted from the stale window.
+    fp_b: Vec<f64>,
+    /// Scratch: per-entry fingerprint (F_SC refresh, recheck incumbent).
+    fp_tmp: Vec<f64>,
+    /// Scratch: scaled query vector for cached similarities.
+    scaled_q: Vec<f64>,
+    /// Scratch: class-probability buffer for allocation-free prediction.
+    proba_scratch: Vec<f64>,
+    /// Owned snapshot of `A` handed to model selection at drift (reused
+    /// capacity; the ring itself cannot be borrowed across selection).
+    drift_block: FrameBlock,
+    /// Shared classifier-independent source scan of the window being
+    /// scored. Feature and label sources do not depend on which classifier
+    /// re-predicts the window, so the repository sweeps (selection, recheck
+    /// and the F_SC refresh) compute them once per window and splice the
+    /// results into every per-classifier extraction.
+    window_scan: StaticScan,
+    /// Per-worker engines for the parallel recurrence scan, built lazily on
+    /// the first multi-candidate drift and invalidated when the engine's
+    /// configuration changes.
+    scan_pool: Vec<FingerprintEngine>,
+    /// Worker threads for the recurrence scan (mirrors `set_parallelism`).
+    scan_threads: usize,
     t: u64,
     pending_recheck: Option<PendingRecheck>,
     drift_points: Vec<u64>,
@@ -137,9 +218,21 @@ impl Ficsum {
             recorder: Box::new(NullRecorder),
             clock: Arc::new(MonotonicClock::new()),
             detector: Adwin::new(config.detector_delta),
-            window_a: TrackedWindow::new(config.window_size, n_features),
-            buffer: BufferedWindow::new(config.buffer_delay(), config.window_size, n_features),
+            frames: FrameWindows::new(config.window_size, config.buffer_delay(), n_features),
             weights: DynamicWeights::uniform(dims),
+            weights_gen: 0,
+            weights_stamp: None,
+            active_cache: CachedFingerprint::new(),
+            active_sel_cache: CachedFingerprint::new(),
+            fp_a: Vec::new(),
+            fp_b: Vec::new(),
+            fp_tmp: Vec::new(),
+            scaled_q: Vec::new(),
+            proba_scratch: Vec::new(),
+            drift_block: FrameBlock::new(),
+            window_scan: StaticScan::new(),
+            scan_pool: Vec::new(),
+            scan_threads: 1,
             t: 0,
             pending_recheck: None,
             drift_points: Vec::new(),
@@ -158,12 +251,16 @@ impl Ficsum {
         })
     }
 
-    /// Sets the number of worker threads the fingerprint engine may fan
-    /// behaviour sources across (1 = sequential, the default). Parallel
-    /// extraction is bit-identical to sequential, so this only changes
-    /// wall-clock behaviour.
+    /// Sets the number of worker threads the pipeline may use: the
+    /// fingerprint engine fans behaviour sources across them during
+    /// extraction, and the recurrence scan at drift fans stored concepts
+    /// across them (1 = sequential, the default). Both parallel paths are
+    /// bit-identical to sequential, so this only changes wall-clock
+    /// behaviour.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.engine.set_threads(threads);
+        self.scan_threads = threads.max(1);
+        self.scan_pool.clear();
     }
 
     /// Lets the engine substitute the window's incremental moments for the
@@ -173,6 +270,7 @@ impl Ficsum {
     /// path.
     pub fn set_incremental_moments(&mut self, on: bool) {
         self.engine.set_incremental_moments(on);
+        self.scan_pool.clear();
     }
 
     /// The fingerprint engine driving extraction.
@@ -288,7 +386,8 @@ impl Ficsum {
         self.stats
     }
 
-    /// Current dynamic weight vector (recomputed every `P_C` observations).
+    /// Current dynamic weight vector (recomputed when its inputs change,
+    /// checked every `P_C` observations).
     pub fn weights(&self) -> &DynamicWeights {
         &self.weights
     }
@@ -345,7 +444,7 @@ impl Ficsum {
     /// impostors more decisively. `None` until the window, fingerprint and
     /// repository all exist.
     pub fn discrimination_probe(&mut self) -> Option<f64> {
-        if !self.window_a.is_full()
+        if !self.frames.a_is_full()
             || !self.active_fp.is_trained()
             || self.repo.is_empty()
             || self.active_sim.count() < 5
@@ -355,17 +454,23 @@ impl Ficsum {
         if !self.active_fp_sel.is_trained() {
             return None;
         }
-        let f_a = self
-            .engine
-            .extract_tracked_repredicted(&self.window_a, self.active_clf.as_ref());
+        let mut f_a = Vec::new();
+        self.engine.extract_tracked_frames_repredicted_into(
+            &self.frames.a_tracked(),
+            self.active_clf.as_ref(),
+            &mut f_a,
+        );
         let sim_active = self.selection_similarity(&self.active_fp_sel.mean_vector(), &f_a);
         let sigma = self.active_sim.std_dev().max(self.config.sim_sigma_floor);
         let mut sum = 0.0;
         let mut n = 0.0;
+        let mut f_as = Vec::new();
         for entry in self.repo.iter().filter(|e| e.sel_fingerprint.is_trained()) {
-            let f_as = self
-                .engine
-                .extract_tracked_repredicted(&self.window_a, entry.classifier.as_ref());
+            self.engine.extract_tracked_frames_repredicted_into(
+                &self.frames.a_tracked(),
+                entry.classifier.as_ref(),
+                &mut f_as,
+            );
             let sim_i = self.selection_similarity(&entry.sel_fingerprint.mean_vector(), &f_as);
             sum += (sim_active - sim_i) / sigma;
             n += 1.0;
@@ -378,21 +483,14 @@ impl Ficsum {
         self.active_clf.predict(x)
     }
 
-    /// Similarity between two *raw* fingerprint vectors under the current
-    /// normalisation and weights.
-    fn similarity(&self, raw_a: &[f64], raw_b: &[f64]) -> f64 {
-        fingerprint_similarity(
-            &self.normalizer.scale(raw_a),
-            &self.normalizer.scale(raw_b),
-            &self.weights.values,
-        )
-    }
-
     /// Similarity used by model selection: normalised values under *uniform*
     /// weights. The dynamic weights are tuned to make the drift detector
     /// maximally sensitive around the active concept, but they move over
     /// time, which destabilises the acceptance bands recorded for stored
     /// concepts; selection instead compares in a weight-stationary space.
+    ///
+    /// Diagnostics-path helper (it allocates); the selection hot path runs
+    /// the same comparison through [`CachedFingerprint`] instead.
     fn selection_similarity(&self, raw_a: &[f64], raw_b: &[f64]) -> f64 {
         let a = self.normalizer.scale(raw_a);
         let b = self.normalizer.scale(raw_b);
@@ -400,31 +498,13 @@ impl Ficsum {
         fingerprint_similarity(&a, &b, &ones)
     }
 
-    /// Expected `(mu_s, sigma_s)` of a stored entry's within-concept
-    /// similarity *under the current weights* (Section IV's record
-    /// re-basing). The retained `(F_c snapshot, F_B)` pairs are re-scored
-    /// with today's weights: their mean is what a genuine recurrence should
-    /// score now, their spread the normal variation. Falls back to the raw
-    /// recorded `mu_c`/`sigma_c` when no pairs were retained.
-    fn expected_similarity(&self, entry: &ConceptEntry) -> (f64, f64) {
-        if self.config.rebase_similarity && !entry.retained.is_empty() {
-            let sims: Vec<f64> = entry
-                .retained
-                .iter()
-                .map(|p| self.selection_similarity(&p.a, &p.b))
-                .collect();
-            let mu = sims.iter().sum::<f64>() / sims.len() as f64;
-            let var =
-                sims.iter().map(|s| (s - mu) * (s - mu)).sum::<f64>() / sims.len() as f64;
-            (mu, var.sqrt().max(0.02))
-        } else {
-            (entry.sim_stats.mean(), entry.sim_stats.std_dev().max(0.01))
-        }
-    }
-
     /// Moves the active concept into the repository (classifier and all).
+    /// The prepared selection-side cache travels with it; the weighted
+    /// drift-side cache is dropped (the incoming active fingerprint is a
+    /// different object whose version counter could collide).
     fn store_active(&mut self) {
         let dims = self.engine.schema().len();
+        self.active_cache.invalidate();
         let entry = ConceptEntry {
             id: self.active_id,
             fingerprint: std::mem::replace(&mut self.active_fp, ConceptFingerprint::new(dims)),
@@ -440,6 +520,7 @@ impl Ficsum {
             sc_fingerprint: std::mem::replace(&mut self.active_sc, ConceptFingerprint::new(dims)),
             retained: std::mem::take(&mut self.active_retained),
             last_active: self.t,
+            sel_cache: std::mem::take(&mut self.active_sel_cache),
         };
         if let Some(evicted) = self.repo.insert(entry) {
             self.emit(StreamEvent::RepositoryEvicted { id: evicted as u64 });
@@ -461,6 +542,8 @@ impl Ficsum {
         self.active_sim = EwStats::new(self.config.sim_alpha);
         self.active_retained = entry.retained;
         self.active_sc = entry.sc_fingerprint;
+        self.active_sel_cache = entry.sel_cache;
+        self.active_cache.invalidate();
     }
 
     /// Starts a brand-new concept.
@@ -473,42 +556,134 @@ impl Ficsum {
         self.active_sim = EwStats::new(self.config.sim_alpha);
         self.active_retained = Vec::new();
         self.active_sc = ConceptFingerprint::new(dims);
+        self.active_sel_cache.invalidate();
+        self.active_cache.invalidate();
+    }
+
+    /// Grows the scan-worker engine pool to `n` single-threaded clones of
+    /// the main engine (same extractor and incremental-moments setting, no
+    /// span clock — the workers' cost is attributed to the selection span).
+    fn ensure_scan_pool(&mut self, n: usize) {
+        while self.scan_pool.len() < n {
+            let mut e = self.engine.clone();
+            e.set_threads(1);
+            e.set_clock(None);
+            self.scan_pool.push(e);
+        }
     }
 
     /// Finds the best stored recurrence candidate for `window`.
     ///
-    /// Two acceptance tiers: (1) the paper's band test
-    /// ([`Ficsum::test_recurrence`]); (2) when nothing passes the band, a
-    /// *dominant match* — a stored concept whose similarity is at least half
-    /// its expected value and clearly ahead of every other stored concept.
-    /// Tier 2 recovers recurrences whose absolute similarity level has
-    /// moved (frozen classifier, evolved weights) but whose relative
-    /// identity is unambiguous; without it the repository fragments, which
-    /// is fatal to concept tracking (C-F1).
-    fn select_best(&mut self, window: &[LabeledObservation]) -> Option<(ConceptId, f64)> {
-        let mut banded: Option<(ConceptId, f64)> = None;
-        let mut all: Vec<(ConceptId, f64, f64)> = Vec::new(); // (id, sim, mu)
-        for entry in self.repo.iter() {
-            if !entry.sel_fingerprint.is_trained()
-                || (entry.sim_stats.count() < 3 && entry.retained.is_empty())
-            {
-                continue;
+    /// Two acceptance tiers: (1) the paper's band test; (2) when nothing
+    /// passes the band, a *dominant match* — a stored concept whose
+    /// similarity is at least half its expected value and clearly ahead of
+    /// every other stored concept. Tier 2 recovers recurrences whose
+    /// absolute similarity level has moved (frozen classifier, evolved
+    /// weights) but whose relative identity is unambiguous; without it the
+    /// repository fragments, which is fatal to concept tracking (C-F1).
+    ///
+    /// Scoring a candidate — re-predict the window through its classifier,
+    /// extract, compare — is independent per candidate, so with
+    /// [`Ficsum::set_parallelism`] > 1 candidates are fanned across a
+    /// scoped worker pool. Workers write disjoint slots that are merged in
+    /// repository order, and the acceptance fold runs over the merged list
+    /// exactly as the sequential loop would: the outcome is bit-identical
+    /// whichever thread scored an entry.
+    fn select_best(&mut self, window: &FrameBlock) -> Option<(ConceptId, f64)> {
+        let norm_v = self.normalizer.version();
+        // Phase 0: refresh each candidate's cached selection side (cheap
+        // version check per entry; recomputed only after the fingerprint or
+        // the normaliser moved).
+        {
+            let Self { repo, normalizer, .. } = self;
+            for entry in repo.iter_mut() {
+                if is_candidate(entry) {
+                    let key = (0, norm_v, entry.sel_fingerprint.version());
+                    entry.sel_cache.ensure(key, &entry.sel_fingerprint, normalizer, None);
+                }
             }
-            let f_as = self.engine.extract_repredicted(window, entry.classifier.as_ref());
-            let sim = self.selection_similarity(&entry.sel_fingerprint.mean_vector(), &f_as);
-            let (mu, sigma) = self.expected_similarity(entry);
-            if std::env::var_os("FICSUM_DEBUG").is_some() {
+        }
+        let n_cands = self.repo.iter().filter(|e| is_candidate(e)).count();
+        if n_cands == 0 {
+            return None;
+        }
+        // Shared static scan: feature and label sources of `window` are the
+        // same whichever stored classifier re-predicts it, so they are
+        // evaluated once here and spliced into every candidate extraction
+        // (and the recheck's incumbent extraction) below.
+        {
+            let Self { engine, window_scan, .. } = self;
+            engine.static_scan_frames(window, window_scan);
+        }
+        // Phase 1: score every candidate -> (id, sim, mu, sigma) in
+        // repository order.
+        let mut scored: Vec<(ConceptId, f64, f64, f64)> = Vec::with_capacity(n_cands);
+        if self.scan_threads <= 1 || n_cands < 2 {
+            let Self { engine, repo, normalizer, config, window_scan, .. } = self;
+            let (normalizer, config, scan) = (&*normalizer, &*config, &*window_scan);
+            let (mut fp, mut scaled) = (Vec::new(), Vec::new());
+            let (mut sa, mut sb, mut sims) = (Vec::new(), Vec::new(), Vec::new());
+            for entry in repo.iter().filter(|e| is_candidate(e)) {
+                engine.extract_with_scan(window, scan, entry.classifier.as_ref(), &mut fp);
+                normalizer.scale_into(&fp, &mut scaled);
+                let sim = entry.sel_cache.similarity_scaled(&scaled, None);
+                let (mu, sigma) = expected_similarity_with(
+                    config, normalizer, entry, &mut sa, &mut sb, &mut sims,
+                );
+                scored.push((entry.id, sim, mu, sigma));
+            }
+        } else {
+            let n_workers = self.scan_threads.min(n_cands);
+            self.ensure_scan_pool(n_workers);
+            let Self { scan_pool, repo, normalizer, config, window_scan, .. } = self;
+            let (normalizer, config, scan) = (&*normalizer, &*config, &*window_scan);
+            let cands: Vec<&ConceptEntry> = repo.iter().filter(|e| is_candidate(e)).collect();
+            let mut slots: Vec<Option<(ConceptId, f64, f64, f64)>> = vec![None; cands.len()];
+            let per = cands.len().div_ceil(n_workers);
+            std::thread::scope(|scope| {
+                for (engine, (chunk, out)) in
+                    scan_pool.iter_mut().zip(cands.chunks(per).zip(slots.chunks_mut(per)))
+                {
+                    scope.spawn(move || {
+                        let (mut fp, mut scaled) = (Vec::new(), Vec::new());
+                        let (mut sa, mut sb, mut sims) = (Vec::new(), Vec::new(), Vec::new());
+                        for (slot, entry) in out.iter_mut().zip(chunk) {
+                            engine.extract_with_scan(
+                                window,
+                                scan,
+                                entry.classifier.as_ref(),
+                                &mut fp,
+                            );
+                            normalizer.scale_into(&fp, &mut scaled);
+                            let sim = entry.sel_cache.similarity_scaled(&scaled, None);
+                            let (mu, sigma) = expected_similarity_with(
+                                config, normalizer, entry, &mut sa, &mut sb, &mut sims,
+                            );
+                            *slot = Some((entry.id, sim, mu, sigma));
+                        }
+                    });
+                }
+            });
+            scored.extend(slots.into_iter().flatten());
+            debug_assert_eq!(scored.len(), n_cands, "every scan slot must be filled");
+        }
+        // Acceptance fold, identical to the sequential reference loop.
+        let debug_on = std::env::var_os("FICSUM_DEBUG").is_some();
+        let mut banded: Option<(ConceptId, f64)> = None;
+        let mut all: Vec<(ConceptId, f64, f64)> = Vec::with_capacity(scored.len());
+        for (id, sim, mu, sigma) in scored {
+            if debug_on {
                 eprintln!(
-                    "  [select t={}] entry {}: sim={sim:.4} mu={mu:.4} sigma={sigma:.4}",
-                    self.t, entry.id
+                    "  [select t={}] entry {id}: sim={sim:.4} mu={mu:.4} sigma={sigma:.4}",
+                    self.t
                 );
             }
             if sim >= mu - self.config.accept_sigma * sigma
-                && banded.map_or(true, |(_, b)| sim > b)
+                && banded.is_none_or(|(_, b)| sim > b)
             {
-                banded = Some((entry.id, sim));
+                banded = Some((id, sim));
             }
-            all.push((entry.id, sim, mu));
+            all.push((id, sim, mu));
         }
         if banded.is_some() {
             return banded;
@@ -527,7 +702,7 @@ impl Ficsum {
 
     /// Model selection (Algorithm 1 lines 25–35): store the incumbent, test
     /// every stored concept, and activate the best acceptor or a fresh one.
-    fn model_select(&mut self, window: &[LabeledObservation]) -> Selection {
+    fn model_select(&mut self, window: &FrameBlock) -> Selection {
         let from = self.active_id;
         self.store_active();
         let (selection, similarity) = match self.select_best(window) {
@@ -562,14 +737,22 @@ impl Ficsum {
     /// the incumbent, it is selected; a newly created incumbent is deleted
     /// ("the alternative is deleted"), a reused incumbent returns to the
     /// repository.
-    fn run_recheck(&mut self, window: &[LabeledObservation], incumbent_new: bool) {
+    fn run_recheck(&mut self, window: &FrameBlock, incumbent_new: bool) {
         let best = self.select_best(window);
         let Some((id, best_sim)) = best else { return };
         // Score the incumbent on the same pure window; a fresh incumbent
         // with no history scores 0 (it cannot defend itself yet).
         let incumbent_sim = if self.active_fp_sel.is_trained() {
-            let f_a = self.engine.extract_repredicted(window, self.active_clf.as_ref());
-            self.selection_similarity(&self.active_fp_sel.mean_vector(), &f_a)
+            {
+                // `select_best` just built the static scan for this same
+                // window (it returned Some, so candidates existed).
+                let Self { engine, active_clf, fp_tmp, window_scan, .. } = self;
+                engine.extract_with_scan(window, &*window_scan, active_clf.as_ref(), fp_tmp);
+            }
+            let key = (0, self.normalizer.version(), self.active_fp_sel.version());
+            self.active_sel_cache.ensure(key, &self.active_fp_sel, &self.normalizer, None);
+            self.normalizer.scale_into(&self.fp_tmp, &mut self.scaled_q);
+            self.active_sel_cache.similarity_scaled(&self.scaled_q, None)
         } else {
             0.0
         };
@@ -594,7 +777,7 @@ impl Ficsum {
         if self.recorder.enabled() {
             self.sim_gauges();
         }
-        self.buffer.clear();
+        self.frames.clear_buffer();
         self.detector.reset();
         self.extreme_streak = 0;
         self.cooldown_until =
@@ -602,13 +785,16 @@ impl Ficsum {
     }
 
     /// Processes one observation prequentially.
+    ///
+    /// Steady-state steps (no drift) are allocation-free: the observation
+    /// is written into the shared frame ring, extraction and similarity run
+    /// through reusable scratch buffers, and the dynamic weights are only
+    /// recomputed when their version stamp shows an input changed.
     pub fn process(&mut self, x: &[f64], y: usize) -> StepOutcome {
         debug_assert_eq!(x.len(), self.n_features);
-        let prediction = self.active_clf.predict(x);
+        let prediction = self.active_clf.predict_with(x, &mut self.proba_scratch);
         self.active_clf.train(x, y);
-        let lo = LabeledObservation::new(x.to_vec(), y, prediction);
-        self.window_a.push(lo.clone());
-        self.buffer.push(lo);
+        self.frames.push(x, y, prediction);
         self.t += 1;
 
         // Fingerprint plasticity: a significant classifier change (a new
@@ -622,12 +808,14 @@ impl Ficsum {
             && self.active_clf.take_growth_event()
             && self.active_clf.complexity() <= 8
             && self.t >= self.last_plasticity + 300
-        {
-            if self.active_fp.is_trained() {
+            && self.active_fp.is_trained() {
                 self.last_plasticity = self.t;
-                let schema = self.engine.schema().clone();
-                self.active_fp.reset_dims(|i| schema.dims[i].depends_on_classifier());
-                self.active_fp_sel.reset_dims(|i| schema.dims[i].depends_on_classifier());
+                {
+                    let Self { engine, active_fp, active_fp_sel, .. } = self;
+                    let schema = engine.schema();
+                    active_fp.reset_dims(|i| schema.dims[i].depends_on_classifier());
+                    active_fp_sel.reset_dims(|i| schema.dims[i].depends_on_classifier());
+                }
                 self.stats.n_plasticity_resets += 1;
                 self.emit(StreamEvent::PlasticityReset);
                 self.recorder.counter("ficsum.plasticity_resets", 1);
@@ -640,7 +828,6 @@ impl Ficsum {
                     self.t + (self.config.window_size + self.config.buffer_delay()) as u64,
                 );
             }
-        }
 
         let mut outcome = StepOutcome {
             prediction,
@@ -650,42 +837,73 @@ impl Ficsum {
         };
 
         // Periodic fingerprint update + drift check (lines 16–24).
-        if self.t % self.config.fingerprint_gap as u64 == 0 && self.window_a.is_full() {
+        if self.t.is_multiple_of(self.config.fingerprint_gap as u64) && self.frames.a_is_full() {
             let obs_on = self.recorder.enabled();
-            let t0 = self.span_start();
-            self.weights = DynamicWeights::compute_recorded(
-                &self.active_fp,
-                &self.repo,
-                &self.normalizer,
-                self.config.sigma_floor,
-                &mut *self.recorder,
+            // Epoch-gated dynamic weights: the computation is a pure
+            // function of the active fingerprint, the repository and the
+            // normaliser; an unchanged version stamp means the kept vector
+            // is bit-identical to what a recompute would produce.
+            let stamp = (
+                self.active_fp.version(),
+                self.repo.weights_stamp(),
+                self.normalizer.version(),
             );
-            self.span_end(Stage::RepositoryReassess, t0);
-            if obs_on {
-                let dims = self.weights.values.len() as u64;
-                let spread = self.weights.spread();
-                self.emit(StreamEvent::WeightsRecomputed { dims, spread });
+            if self.weights_stamp != Some(stamp) {
+                let t0 = self.span_start();
+                self.weights.compute_into(
+                    &self.active_fp,
+                    &self.repo,
+                    &self.normalizer,
+                    self.config.sigma_floor,
+                );
+                self.span_end(Stage::RepositoryReassess, t0);
+                self.weights_gen += 1;
+                self.weights_stamp = Some(stamp);
+                self.weights.publish_shape(&mut *self.recorder);
+                if obs_on {
+                    let dims = self.weights.values.len() as u64;
+                    let spread = self.weights.spread();
+                    self.emit(StreamEvent::WeightsRecomputed { dims, spread });
+                }
             }
 
             let mut force_drift = false;
-            if self.buffer.stale().is_full() {
+            if self.frames.stale_is_full() {
                 // The window is re-predicted through the current classifier
                 // (the paper's makeFingerprint uses the classifier, line 17):
                 // re-predicted error profiles are stable within a concept and
                 // jump when the labelling function moves, giving both a clean
                 // detection signal and consistency with model selection.
                 let t0 = self.span_start();
-                let f_b = self
-                    .engine
-                    .extract_tracked_repredicted(self.buffer.stale(), self.active_clf.as_ref());
+                {
+                    let Self { engine, frames, active_clf, fp_b, .. } = self;
+                    engine.extract_tracked_frames_repredicted_into(
+                        &frames.stale_tracked(),
+                        active_clf.as_ref(),
+                        fp_b,
+                    );
+                }
                 self.span_end(Stage::Extract, t0);
-                self.emit(StreamEvent::FingerprintExtracted { dims: f_b.len() as u64 });
+                self.emit(StreamEvent::FingerprintExtracted { dims: self.fp_b.len() as u64 });
                 let t0 = self.span_start();
-                self.normalizer.observe(&f_b);
+                self.normalizer.observe(&self.fp_b);
                 let mut incorporate = true;
                 if self.active_fp.is_trained() {
-                    let mean_vec = self.active_fp.mean_vector();
-                    let norm_sim = self.similarity(&mean_vec, &f_b);
+                    let key = (
+                        self.weights_gen,
+                        self.normalizer.version(),
+                        self.active_fp.version(),
+                    );
+                    self.active_cache.ensure(
+                        key,
+                        &self.active_fp,
+                        &self.normalizer,
+                        Some(&self.weights.values),
+                    );
+                    self.normalizer.scale_into(&self.fp_b, &mut self.scaled_q);
+                    let norm_sim = self
+                        .active_cache
+                        .similarity_scaled(&self.scaled_q, Some(&self.weights.values));
                     // Robust baseline: a window whose similarity is an
                     // extreme outlier is most likely drawn from a drift
                     // region — folding it into mu_c / sigma_c / F_c would
@@ -715,41 +933,72 @@ impl Ficsum {
                     }
                 }
                 if incorporate {
-                    self.active_fp.incorporate(&f_b);
-                    self.active_fp_sel.incorporate(&f_b);
+                    self.active_fp.incorporate(&self.fp_b);
+                    self.active_fp_sel.incorporate(&self.fp_b);
                 }
                 self.span_end(Stage::Similarity, t0);
             }
 
             if self.active_fp.n_incorporated() >= 2 && self.t >= self.cooldown_until {
                 let t0 = self.span_start();
-                let f_a = self
-                    .engine
-                    .extract_tracked_repredicted(&self.window_a, self.active_clf.as_ref());
+                {
+                    let Self { engine, frames, active_clf, fp_a, .. } = self;
+                    engine.extract_tracked_frames_repredicted_into(
+                        &frames.a_tracked(),
+                        active_clf.as_ref(),
+                        fp_a,
+                    );
+                }
                 self.span_end(Stage::Extract, t0);
-                self.emit(StreamEvent::FingerprintExtracted { dims: f_a.len() as u64 });
+                self.emit(StreamEvent::FingerprintExtracted { dims: self.fp_a.len() as u64 });
                 let t0 = self.span_start();
-                self.normalizer.observe(&f_a);
-                let sim_a = self.similarity(&self.active_fp.mean_vector(), &f_a);
+                self.normalizer.observe(&self.fp_a);
+                let key = (
+                    self.weights_gen,
+                    self.normalizer.version(),
+                    self.active_fp.version(),
+                );
+                self.active_cache.ensure(
+                    key,
+                    &self.active_fp,
+                    &self.normalizer,
+                    Some(&self.weights.values),
+                );
+                self.normalizer.scale_into(&self.fp_a, &mut self.scaled_q);
+                let sim_a = self
+                    .active_cache
+                    .similarity_scaled(&self.scaled_q, Some(&self.weights.values));
                 self.emit(StreamEvent::SimilarityObserved { value: sim_a });
                 // Retain occasional selection-space pairs: the selection
                 // fingerprint's mean against this window re-predicted
                 // through the classifier — exactly the comparison model
                 // selection performs — so re-scoring them later calibrates
                 // the acceptance band (Section IV's record re-basing).
-                if self.t % (8 * self.config.fingerprint_gap as u64) == 0
+                // `scaled_q` still holds this window's scaled fingerprint,
+                // which is exactly the selection query side.
+                if self.t.is_multiple_of(8 * self.config.fingerprint_gap as u64)
                     && self.active_fp_sel.is_trained()
                 {
-                    let mean_sel = self.active_fp_sel.mean_vector();
-                    let sim_sel = self.selection_similarity(&mean_sel, &f_a);
-                    self.active_retained.push(RetainedPair {
-                        a: mean_sel,
-                        b: f_a.clone(),
-                        sim_then: sim_sel,
-                    });
-                    if self.active_retained.len() > 8 {
-                        self.active_retained.remove(0);
-                    }
+                    let sel_key = (0, self.normalizer.version(), self.active_fp_sel.version());
+                    self.active_sel_cache.ensure(
+                        sel_key,
+                        &self.active_fp_sel,
+                        &self.normalizer,
+                        None,
+                    );
+                    let sim_sel = self.active_sel_cache.similarity_scaled(&self.scaled_q, None);
+                    // Ring-recycle the oldest pair's buffers once the cap is
+                    // reached; steady state allocates nothing.
+                    let (mut a, mut b) = if self.active_retained.len() >= 8 {
+                        let p = self.active_retained.remove(0);
+                        (p.a, p.b)
+                    } else {
+                        (Vec::new(), Vec::new())
+                    };
+                    self.active_fp_sel.mean_into(&mut a);
+                    b.clear();
+                    b.extend_from_slice(&self.fp_a);
+                    self.active_retained.push(RetainedPair { a, b, sim_then: sim_sel });
                 }
                 self.span_end(Stage::Similarity, t0);
                 let t0 = self.span_start();
@@ -788,12 +1037,14 @@ impl Ficsum {
                     self.emit(StreamEvent::DriftDetected { trigger });
                     self.recorder.counter("ficsum.drifts", 1);
                     outcome.drift = true;
-                    let a_window = self.window_a.to_vec();
+                    let mut block = std::mem::take(&mut self.drift_block);
+                    block.copy_from(&self.frames.a_view());
                     let t0 = self.span_start();
-                    let selection = self.model_select(&a_window);
+                    let selection = self.model_select(&block);
                     self.span_end(Stage::RepositoryReassess, t0);
+                    self.drift_block = block;
                     outcome.concept_switched = true;
-                    self.buffer.clear();
+                    self.frames.clear_buffer();
                     self.detector.reset();
                     self.extreme_streak = 0;
                     self.baseline_outliers = 0;
@@ -820,29 +1071,42 @@ impl Ficsum {
         // Periodic non-active fingerprint update for the intra-classifier
         // weight component (lines 37–42).
         if !outcome.drift
-            && self.t % self.config.repository_gap as u64 == 0
-            && self.window_a.is_full()
+            && self.t.is_multiple_of(self.config.repository_gap as u64)
+            && self.frames.a_is_full()
             && !self.repo.is_empty()
         {
             let t0 = self.span_start();
-            for entry in self.repo.iter_mut() {
-                let raw = self
-                    .engine
-                    .extract_tracked_repredicted(&self.window_a, entry.classifier.as_ref());
-                entry.sc_fingerprint.incorporate(&raw);
+            {
+                let Self { engine, repo, frames, fp_tmp, window_scan, .. } = self;
+                let tracked = frames.a_tracked();
+                // One static scan of `A` serves every stored classifier:
+                // only the classifier-dependent sources are re-evaluated
+                // per entry.
+                engine.static_scan_tracked(&tracked, window_scan);
+                for entry in repo.iter_mut() {
+                    engine.extract_with_scan(
+                        &tracked,
+                        &*window_scan,
+                        entry.classifier.as_ref(),
+                        fp_tmp,
+                    );
+                    entry.sc_fingerprint.incorporate(fp_tmp);
+                }
             }
             self.span_end(Stage::RepositoryReassess, t0);
         }
 
         // Delayed second model-selection pass (Section III-A).
         if let Some(recheck) = self.pending_recheck {
-            if self.t >= recheck.due && self.window_a.is_full() {
+            if self.t >= recheck.due && self.frames.a_is_full() {
                 self.pending_recheck = None;
                 let before = self.active_id;
-                let window = self.window_a.to_vec();
+                let mut block = std::mem::take(&mut self.drift_block);
+                block.copy_from(&self.frames.a_view());
                 let t0 = self.span_start();
-                self.run_recheck(&window, recheck.created_new);
+                self.run_recheck(&block, recheck.created_new);
                 self.span_end(Stage::RepositoryReassess, t0);
+                self.drift_block = block;
                 if self.active_id != before {
                     outcome.concept_switched = true;
                 }
@@ -853,7 +1117,7 @@ impl Ficsum {
         // cost (enabled recorders share the framework clock with the
         // engine, see `set_recorder`).
         if self.recorder.enabled()
-            && self.t % self.config.repository_gap as u64 == 0
+            && self.t.is_multiple_of(self.config.repository_gap as u64)
             && self.engine.timing_enabled()
         {
             for (name, nanos) in self.engine.source_timings() {
@@ -999,5 +1263,40 @@ mod tests {
         }
         let acc = correct as f64 / n as f64;
         assert!(acc > 0.70, "STAGGER accuracy {acc}");
+    }
+
+    #[test]
+    fn parallel_recurrence_scan_matches_sequential() {
+        // Same stream, threads = 1 vs threads = 4; every step outcome must
+        // be bit-identical (drifts, selections, active concept ids).
+        use ficsum_synth::{ConceptGenerator, LabelledConcept, UniformSampler};
+        let build = |threads: usize| {
+            let mut f = FicsumBuilder::new(3, 2).config(quick_config()).build().unwrap();
+            f.set_parallelism(threads);
+            f
+        };
+        let mut seq = build(1);
+        let mut par = build(4);
+        let mut gens: Vec<Box<dyn ConceptGenerator>> = (0..3)
+            .map(|c| {
+                Box::new(LabelledConcept::new(
+                    UniformSampler::new(3, 11 + c as u64),
+                    StaggerLabeller::new(c % 3),
+                    0.0,
+                    77 + c as u64,
+                )) as Box<dyn ConceptGenerator>
+            })
+            .collect();
+        for seg in 0..9 {
+            let gen = &mut gens[seg % 3];
+            for _ in 0..400 {
+                let o = gen.generate();
+                let a = seq.process(&o.features, o.label);
+                let b = par.process(&o.features, o.label);
+                assert_eq!(a, b, "outcomes diverged at t={}", seq.t);
+            }
+        }
+        assert!(seq.stats().n_drifts >= 1, "test must exercise model selection");
+        assert_eq!(seq.stats(), par.stats());
     }
 }

@@ -5,6 +5,7 @@ use ficsum_classifiers::Classifier;
 use ficsum_stream::EwStats;
 
 use crate::fingerprint::ConceptFingerprint;
+use crate::similarity::CachedFingerprint;
 
 /// Identifier of a stored concept. Ids are never reused, so they double as
 /// the "model" identity `M` in the C-F1 evaluation.
@@ -52,6 +53,10 @@ pub struct ConceptEntry {
     pub retained: Vec<RetainedPair>,
     /// Timestamp of last activation (for LRU eviction).
     pub last_active: u64,
+    /// Cached scaled/weighted side of `sel_fingerprint`'s mean vector,
+    /// reused across recurrence scans while fingerprint and normaliser are
+    /// unchanged. Pure cache: carries no semantic state.
+    pub sel_cache: CachedFingerprint,
 }
 
 impl ConceptEntry {
@@ -66,6 +71,7 @@ impl ConceptEntry {
             sc_fingerprint: ConceptFingerprint::new(dims),
             retained: Vec::new(),
             last_active: 0,
+            sel_cache: CachedFingerprint::new(),
         }
     }
 
@@ -86,12 +92,41 @@ pub struct Repository {
     next_id: ConceptId,
     /// 0 = unbounded.
     max_entries: usize,
+    /// Bumped on every membership change (insert, take, remove); part of
+    /// the epoch key gating dynamic-weight recomputation.
+    version: u64,
 }
 
 impl Repository {
     /// Repository bounded to `max_entries` concepts (0 = unbounded).
     pub fn new(max_entries: usize) -> Self {
-        Self { entries: Vec::new(), next_id: 0, max_entries }
+        Self { entries: Vec::new(), next_id: 0, max_entries, version: 0 }
+    }
+
+    /// Monotone membership-mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A single fingerprint of everything the dynamic weighting reads from
+    /// the repository: membership plus each entry's fingerprint and
+    /// `F_SC` versions, FNV-folded in entry order. Two equal stamps (with
+    /// an unchanged active fingerprint and normaliser) guarantee
+    /// [`crate::weights::DynamicWeights::compute`] would return identical
+    /// values.
+    pub fn weights_stamp(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        fold(self.version);
+        for e in &self.entries {
+            fold(e.id as u64 + 1);
+            fold(e.fingerprint.version());
+            fold(e.sc_fingerprint.version());
+        }
+        h
     }
 
     /// Allocates the next concept id.
@@ -111,6 +146,7 @@ impl Repository {
     /// allocator is advanced past `entry.id`, ensuring an externally
     /// constructed entry can never collide with a later [`Repository::allocate_id`].
     pub fn insert(&mut self, entry: ConceptEntry) -> Option<ConceptId> {
+        self.version += 1;
         self.next_id = self.next_id.max(entry.id + 1);
         if let Some(pos) = self.entries.iter().position(|e| e.id == entry.id) {
             self.entries[pos] = entry;
@@ -133,6 +169,7 @@ impl Repository {
     /// Removes and returns the entry with `id`.
     pub fn take(&mut self, id: ConceptId) -> Option<ConceptEntry> {
         let pos = self.entries.iter().position(|e| e.id == id)?;
+        self.version += 1;
         Some(self.entries.remove(pos))
     }
 

@@ -44,10 +44,28 @@ impl DynamicWeights {
         normalizer: &FingerprintNormalizer,
         sigma_floor: f64,
     ) -> Self {
+        let mut w = Self { values: Vec::new() };
+        w.compute_into(active, repo, normalizer, sigma_floor);
+        w
+    }
+
+    /// Recomputes the weight vector in place, reusing `values`' capacity —
+    /// the allocation-free core [`DynamicWeights::compute`] wraps. The
+    /// per-dimension statistics stream over the repository in the same
+    /// entry order (and with the same per-accumulator addition order) as
+    /// the collecting implementation, so the result is bit-identical.
+    pub fn compute_into(
+        &mut self,
+        active: &ConceptFingerprint,
+        repo: &Repository,
+        normalizer: &FingerprintNormalizer,
+        sigma_floor: f64,
+    ) {
         let dims = active.dims();
-        let mut values = Vec::with_capacity(dims);
-        let repo_trained: Vec<_> =
-            repo.iter().filter(|e| e.fingerprint.is_trained()).collect();
+        let values = &mut self.values;
+        values.clear();
+        let trained = || repo.iter().filter(|e| e.fingerprint.is_trained());
+        let n_trained = trained().count();
         for dim in 0..dims {
             // --- scale component -------------------------------------------------
             let w_sigma = if active.n_incorporated() >= 2 {
@@ -57,36 +75,33 @@ impl DynamicWeights {
             };
 
             // --- inter-concept variation (v_s) -----------------------------------
-            let v_s = if repo_trained.len() >= 2 {
-                let means: Vec<f64> =
-                    repo_trained.iter().map(|e| e.fingerprint.mean(dim)).collect();
-                let grand = means.iter().sum::<f64>() / means.len() as f64;
-                let between = (means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>()
-                    / means.len() as f64)
+            let v_s = if n_trained >= 2 {
+                let grand =
+                    trained().map(|e| e.fingerprint.mean(dim)).sum::<f64>() / n_trained as f64;
+                let between = (trained()
+                    .map(|e| {
+                        let m = e.fingerprint.mean(dim);
+                        (m - grand) * (m - grand)
+                    })
+                    .sum::<f64>()
+                    / n_trained as f64)
                     .sqrt();
-                let max_within = repo_trained
-                    .iter()
-                    .map(|e| e.fingerprint.std_dev(dim))
-                    .fold(0.0f64, f64::max);
+                let max_within =
+                    trained().map(|e| e.fingerprint.std_dev(dim)).fold(0.0f64, f64::max);
                 between / max_within.max(sigma_floor)
             } else {
                 0.0
             };
 
             // --- intra-classifier variation (v_sc) --------------------------------
-            let sc: Vec<f64> = repo_trained
-                .iter()
-                .filter(|e| e.sc_fingerprint.is_trained())
-                .map(|e| {
-                    let dev = (e.fingerprint.mean(dim) - e.sc_fingerprint.mean(dim)).abs();
-                    dev / e.sc_fingerprint.std_dev(dim).max(sigma_floor)
-                })
-                .collect();
-            let v_sc = if sc.is_empty() {
-                0.0
-            } else {
-                sc.iter().sum::<f64>() / sc.len() as f64
-            };
+            let mut sc_sum = 0.0;
+            let mut sc_n = 0usize;
+            for e in trained().filter(|e| e.sc_fingerprint.is_trained()) {
+                let dev = (e.fingerprint.mean(dim) - e.sc_fingerprint.mean(dim)).abs();
+                sc_sum += dev / e.sc_fingerprint.std_dev(dim).max(sigma_floor);
+                sc_n += 1;
+            }
+            let v_sc = if sc_n == 0 { 0.0 } else { sc_sum / sc_n as f64 };
 
             let w_d = v_s.max(v_sc);
             // Until discrimination information exists, fall back to pure
@@ -100,11 +115,10 @@ impl DynamicWeights {
         // retained-pair re-basing benefits from stability).
         let mean = values.iter().sum::<f64>() / dims.max(1) as f64;
         if mean > 0.0 && mean.is_finite() {
-            for v in &mut values {
+            for v in values.iter_mut() {
                 *v /= mean;
             }
         }
-        Self { values }
     }
 
     /// Same as [`DynamicWeights::compute`], publishing the recomputed
@@ -119,11 +133,18 @@ impl DynamicWeights {
         recorder: &mut dyn Recorder,
     ) -> Self {
         let w = Self::compute(active, repo, normalizer, sigma_floor);
-        if recorder.enabled() {
-            recorder.gauge("ficsum.weights.spread", w.spread());
-            recorder.gauge("ficsum.weights.max", w.values.iter().copied().fold(0.0, f64::max));
-        }
+        w.publish_shape(recorder);
         w
+    }
+
+    /// Publishes the vector's shape gauges (`ficsum.weights.spread`,
+    /// `ficsum.weights.max`) to `recorder`; a disabled recorder skips the
+    /// derived statistics entirely.
+    pub fn publish_shape(&self, recorder: &mut dyn Recorder) {
+        if recorder.enabled() {
+            recorder.gauge("ficsum.weights.spread", self.spread());
+            recorder.gauge("ficsum.weights.max", self.values.iter().copied().fold(0.0, f64::max));
+        }
     }
 
     /// Max-minus-min of the weight values: 0 for uniform weights, larger as

@@ -238,7 +238,7 @@ impl DriftDetector for Adwin {
         self.insert(value);
         self.ticks += 1;
         self.state = DetectorState::Stable;
-        if self.ticks % self.clock == 0 && self.detect_change() {
+        if self.ticks.is_multiple_of(self.clock) && self.detect_change() {
             self.n_detections += 1;
             self.state = DetectorState::Drift;
         }

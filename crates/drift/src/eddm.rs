@@ -137,7 +137,7 @@ mod tests {
         while budget > 0 {
             i += 1;
             budget -= 1;
-            let err = if i % gap == 0 {
+            let err = if i.is_multiple_of(gap) {
                 gap += 1; // next gap is larger
                 i = 0;
                 1.0

@@ -129,7 +129,7 @@ mod tests {
         // Concept 0 occurs twice; the reusing system brings back model 0,
         // the naive system makes a new model per segment.
         for t in 0..300 {
-            let concept = if t < 100 || t >= 200 { 0 } else { 1 };
+            let concept = if !(100..200).contains(&t) { 0 } else { 1 };
             let model_reuse = concept;
             let model_fresh = t / 100; // 0, 1, 2
             reuse.record(concept, model_reuse);

@@ -194,7 +194,7 @@ pub fn evaluate_with<S: EvaluatedSystem>(
             truth_changes.push(t);
         }
         last_concept = Some(concept);
-        if t % DISCRIMINATION_EVERY == 0 {
+        if t.is_multiple_of(DISCRIMINATION_EVERY) {
             if let Some(d) = system.discrimination() {
                 if d.is_finite() {
                     disc_sum += d;

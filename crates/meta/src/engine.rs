@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use ficsum_classifiers::Classifier;
 use ficsum_obs::Clock;
-use ficsum_stream::{LabeledObservation, Moments, TrackedWindow};
+use ficsum_stream::{FrameSource, LabeledObservation, Moments, MomentSource, TrackedWindow};
 
 use crate::autocorr::{autocorrelation, partial_autocorrelation};
 use crate::emd::{imf_entropies_scratch, EmdConfig, EmdScratch};
@@ -53,6 +53,11 @@ struct TrackedVals {
     kurtosis: f64,
 }
 
+/// One work item of the parallel source sweep: the source sequence, its
+/// tracked-moment substitutes, the disjoint output chunk it fills, and its
+/// per-source timing slot.
+type SourceTask<'a> = (&'a [f64], Option<TrackedVals>, &'a mut [f64], &'a mut u64);
+
 impl TrackedVals {
     fn from_moments(m: &Moments) -> Self {
         Self {
@@ -69,6 +74,48 @@ impl TrackedVals {
 struct SourceScratch {
     emd: EmdScratch,
     mi: MiScratch,
+}
+
+/// The classifier-independent half of one window's repredicted extraction.
+///
+/// A repository sweep scores *one* window under *many* classifiers. The
+/// feature and label behaviour sources do not depend on the classifier, yet
+/// the plain entry points re-evaluate their meta-functions (EMD sifting,
+/// mutual information, autocorrelation, the moment sweep) once per
+/// classifier. [`FingerprintEngine::static_scan_tracked`] evaluates those
+/// sources once into this cache; [`FingerprintEngine::extract_with_scan`]
+/// then copies the cached dimensions and computes only the
+/// prediction-dependent sources and the importance tail per classifier.
+///
+/// Bit-exactness: the cached dimensions are produced by the very same
+/// per-source evaluation on the very same cached sequences as the plain
+/// path, and copying an `f64` preserves its bits. Validity is the caller's
+/// contract — a scan must be rebuilt whenever the window contents change.
+/// The cache is `Sync` (plain data), so one scan can feed parallel workers.
+#[derive(Debug, Clone, Default)]
+pub struct StaticScan {
+    /// Evaluated function blocks for the whole source section, aligned with
+    /// the engine's source order; only the chunks of classifier-independent
+    /// sources hold meaningful values.
+    vals: Vec<f64>,
+    ready: bool,
+}
+
+impl StaticScan {
+    /// An empty (not yet scanned) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a window has been scanned into this cache.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Drops the scan; the next use requires a rebuild.
+    pub fn invalidate(&mut self) {
+        self.ready = false;
+    }
 }
 
 /// Reusable, optionally parallel fingerprint extraction.
@@ -94,6 +141,10 @@ pub struct FingerprintEngine {
     tracked: Vec<Option<TrackedVals>>,
     /// Re-predicted labels for [`FingerprintEngine::extract_repredicted`].
     preds: Vec<usize>,
+    /// Probability scratch for allocation-free classifier calls.
+    proba: Vec<f64>,
+    /// Contribution scratch for the feature-importance tail.
+    contrib: Vec<f64>,
     workers: Vec<SourceScratch>,
     /// Span clock for per-source timing; `None` = timing off (zero cost).
     clock: Option<Arc<dyn Clock>>,
@@ -125,6 +176,8 @@ impl FingerprintEngine {
             seqs: vec![Vec::new(); n_sources],
             tracked: Vec::new(),
             preds: Vec::new(),
+            proba: Vec::new(),
+            contrib: Vec::new(),
             workers: vec![SourceScratch::default()],
             clock: None,
             source_nanos: vec![0; n_sources],
@@ -251,8 +304,20 @@ impl FingerprintEngine {
         classifier: Option<&dyn Classifier>,
         out: &mut Vec<f64>,
     ) {
+        self.extract_frames_into(window, classifier, out);
+    }
+
+    /// [`FingerprintEngine::extract_into`] over any [`FrameSource`] — ring
+    /// views, owned frame blocks and observation slices all extract through
+    /// the same code, bit-identically.
+    pub fn extract_frames_into<S: FrameSource + ?Sized>(
+        &mut self,
+        src: &S,
+        classifier: Option<&dyn Classifier>,
+        out: &mut Vec<f64>,
+    ) {
         self.tracked.clear();
-        self.run(window.iter(), classifier, false, out);
+        self.run(src, classifier, false, out);
     }
 
     /// Extracts the fingerprint `window` would have under `classifier`'s
@@ -277,8 +342,19 @@ impl FingerprintEngine {
         classifier: &dyn Classifier,
         out: &mut Vec<f64>,
     ) {
+        self.extract_frames_repredicted_into(window, classifier, out);
+    }
+
+    /// [`FingerprintEngine::extract_repredicted_into`] over any
+    /// [`FrameSource`].
+    pub fn extract_frames_repredicted_into<S: FrameSource + ?Sized>(
+        &mut self,
+        src: &S,
+        classifier: &dyn Classifier,
+        out: &mut Vec<f64>,
+    ) {
         self.tracked.clear();
-        self.run(window.iter(), Some(classifier), true, out);
+        self.run(src, Some(classifier), true, out);
     }
 
     /// Extracts from a [`TrackedWindow`] without copying it out. When
@@ -293,8 +369,7 @@ impl FingerprintEngine {
         classifier: Option<&dyn Classifier>,
     ) -> Vec<f64> {
         let mut out = Vec::new();
-        self.fill_tracked_vals(window);
-        self.run(window.iter(), classifier, false, &mut out);
+        self.extract_tracked_frames_into(window, classifier, &mut out);
         out
     }
 
@@ -307,9 +382,236 @@ impl FingerprintEngine {
         classifier: &dyn Classifier,
     ) -> Vec<f64> {
         let mut out = Vec::new();
-        self.fill_tracked_vals(window);
-        self.run(window.iter(), Some(classifier), true, &mut out);
+        self.extract_tracked_frames_repredicted_into(window, classifier, &mut out);
         out
+    }
+
+    /// [`FingerprintEngine::extract_tracked`] over any frame window that
+    /// carries incremental moments (ring-backed [`ficsum_stream::TrackedFrames`]
+    /// or the legacy [`TrackedWindow`]), writing into `out`.
+    pub fn extract_tracked_frames_into<S: FrameSource + MomentSource + ?Sized>(
+        &mut self,
+        src: &S,
+        classifier: Option<&dyn Classifier>,
+        out: &mut Vec<f64>,
+    ) {
+        self.fill_tracked_vals(src);
+        self.run(src, classifier, false, out);
+    }
+
+    /// [`FingerprintEngine::extract_tracked_repredicted`] over any tracked
+    /// frame window, writing into `out`.
+    pub fn extract_tracked_frames_repredicted_into<S: FrameSource + MomentSource + ?Sized>(
+        &mut self,
+        src: &S,
+        classifier: &dyn Classifier,
+        out: &mut Vec<f64>,
+    ) {
+        self.fill_tracked_vals(src);
+        self.run(src, Some(classifier), true, out);
+    }
+
+    /// Evaluates the classifier-independent sources of `src` into `scan`,
+    /// for a sweep that scores one window under many classifiers via
+    /// [`FingerprintEngine::extract_with_scan`].
+    pub fn static_scan_frames<S: FrameSource + ?Sized>(&mut self, src: &S, scan: &mut StaticScan) {
+        self.tracked.clear();
+        self.static_scan_common(src, scan);
+    }
+
+    /// [`FingerprintEngine::static_scan_frames`] over a moment-tracking
+    /// window (the incremental-moment substitutes apply exactly as in
+    /// [`FingerprintEngine::extract_tracked_frames_repredicted_into`]).
+    pub fn static_scan_tracked<S: FrameSource + MomentSource + ?Sized>(
+        &mut self,
+        src: &S,
+        scan: &mut StaticScan,
+    ) {
+        self.fill_tracked_vals(src);
+        self.static_scan_common(src, scan);
+    }
+
+    fn static_scan_common<S: FrameSource + ?Sized>(&mut self, src: &S, scan: &mut StaticScan) {
+        let n = src.len();
+        let Self {
+            extractor, kinds, seqs, tracked, workers, clock, source_nanos, ..
+        } = self;
+        let functions = extractor.functions();
+        let nf = functions.len();
+        scan.vals.clear();
+        scan.vals.resize(kinds.len() * nf, 0.0);
+        scan.ready = true;
+        if nf == 0 || kinds.is_empty() {
+            return;
+        }
+        let needs_emd = functions
+            .iter()
+            .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
+        let emd_cfg = *extractor.emd_config();
+        let mi_bins = extractor.mi_bins();
+        for (seq, &kind) in seqs.iter_mut().zip(kinds.iter()) {
+            match kind {
+                SourceKind::Feature(j) => {
+                    seq.clear();
+                    seq.extend((0..n).map(|i| src.features(i)[j]));
+                }
+                SourceKind::Labels => {
+                    seq.clear();
+                    seq.extend((0..n).map(|i| src.label(i) as f64));
+                }
+                _ => {}
+            }
+        }
+        if workers.is_empty() {
+            workers.push(SourceScratch::default());
+        }
+        let worker = &mut workers[0];
+        for (i, ((seq, chunk), nano)) in
+            seqs.iter().zip(scan.vals.chunks_mut(nf)).zip(source_nanos.iter_mut()).enumerate()
+        {
+            if !kind_is_static(kinds[i]) {
+                continue;
+            }
+            let t0 = clock.as_deref().map(Clock::now_nanos);
+            eval_source_into(
+                seq,
+                functions,
+                needs_emd,
+                &emd_cfg,
+                mi_bins,
+                tracked.get(i).copied().flatten(),
+                worker,
+                chunk,
+            );
+            if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
+                *nano += c.now_nanos().saturating_sub(t0);
+            }
+        }
+    }
+
+    /// One classifier's repredicted fingerprint of the window previously
+    /// scanned into `scan`: the cached classifier-independent dimensions
+    /// are copied, and only the prediction-dependent sources plus the
+    /// importance tail are computed. Bit-identical to
+    /// [`FingerprintEngine::extract_frames_repredicted_into`] (or the
+    /// tracked variant, when the scan was built with
+    /// [`FingerprintEngine::static_scan_tracked`]) on the same window —
+    /// `src` must hold exactly the contents the scan was built from.
+    pub fn extract_with_scan<S: FrameSource + ?Sized>(
+        &mut self,
+        src: &S,
+        scan: &StaticScan,
+        classifier: &dyn Classifier,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert!(scan.ready, "extract_with_scan before static_scan");
+        let n = src.len();
+        {
+            let Self { preds, proba, .. } = self;
+            preds.clear();
+            for i in 0..n {
+                preds.push(classifier.predict_with(src.features(i), proba));
+            }
+        }
+        out.clear();
+        out.resize(self.extractor.schema().len(), 0.0);
+        {
+            let Self {
+                extractor,
+                kinds,
+                seqs,
+                preds,
+                workers,
+                clock,
+                source_nanos,
+                timed_extractions,
+                ..
+            } = self;
+            let functions = extractor.functions();
+            let nf = functions.len();
+            let src_len = kinds.len() * nf;
+            if nf > 0 && !kinds.is_empty() {
+                debug_assert_eq!(scan.vals.len(), src_len, "scan built for another schema");
+                let needs_emd = functions
+                    .iter()
+                    .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
+                let emd_cfg = *extractor.emd_config();
+                let mi_bins = extractor.mi_bins();
+                for (seq, &kind) in seqs.iter_mut().zip(kinds.iter()) {
+                    match kind {
+                        SourceKind::Predictions => {
+                            seq.clear();
+                            seq.extend(preds.iter().map(|&v| v as f64));
+                        }
+                        SourceKind::Errors => {
+                            seq.clear();
+                            seq.extend(
+                                (0..n).map(|i| if preds[i] != src.label(i) { 1.0 } else { 0.0 }),
+                            );
+                        }
+                        SourceKind::ErrorDistances => {
+                            seq.clear();
+                            let mut last: Option<usize> = None;
+                            for (i, &p) in preds.iter().enumerate() {
+                                if p != src.label(i) {
+                                    if let Some(prev) = last {
+                                        seq.push((i - prev) as f64);
+                                    }
+                                    last = Some(i);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if workers.is_empty() {
+                    workers.push(SourceScratch::default());
+                }
+                let worker = &mut workers[0];
+                for (i, ((seq, chunk), nano)) in seqs
+                    .iter()
+                    .zip(out[..src_len].chunks_mut(nf))
+                    .zip(source_nanos.iter_mut())
+                    .enumerate()
+                {
+                    if kind_is_static(kinds[i]) {
+                        chunk.copy_from_slice(&scan.vals[i * nf..(i + 1) * nf]);
+                        continue;
+                    }
+                    let t0 = clock.as_deref().map(Clock::now_nanos);
+                    eval_source_into(
+                        seq, functions, needs_emd, &emd_cfg, mi_bins, None, worker, chunk,
+                    );
+                    if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
+                        *nano += c.now_nanos().saturating_sub(t0);
+                    }
+                }
+                if *timed_extractions < u64::MAX {
+                    *timed_extractions += clock.is_some() as u64;
+                }
+            }
+        }
+        if self.extractor.includes_feature_importance() {
+            let n_features = self.extractor.n_features();
+            let tail = out.len() - n_features;
+            let importance = &mut out[tail..];
+            let mut counted = 0usize;
+            let Self { contrib, proba, .. } = self;
+            for i in 0..n {
+                if classifier.contributions_with(src.features(i), contrib, proba) {
+                    for (acc, c) in importance.iter_mut().zip(contrib.iter()) {
+                        *acc += c.abs();
+                    }
+                    counted += 1;
+                }
+            }
+            if counted > 0 {
+                for acc in importance.iter_mut() {
+                    *acc /= counted as f64;
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.extractor.schema().len());
     }
 
     /// Populates the tracked-moment substitutes for window-membership
@@ -317,8 +619,8 @@ impl FingerprintEngine {
     /// tracked because they change with the classifier). A no-op unless
     /// incremental moments are enabled — an empty `tracked` vector means
     /// every source takes the batch path.
-    fn fill_tracked_vals(&mut self, window: &TrackedWindow) {
-        debug_assert!(window.n_features() >= self.extractor.n_features());
+    fn fill_tracked_vals<M: MomentSource + ?Sized>(&mut self, window: &M) {
+        debug_assert!(window.n_feature_moments() >= self.extractor.n_features());
         self.tracked.clear();
         if !self.incremental_moments {
             return;
@@ -334,25 +636,27 @@ impl FingerprintEngine {
         }
     }
 
-    /// Shared extraction core over any window iterator.
-    fn run<'a, I>(
+    /// Shared extraction core over any frame source.
+    fn run<S: FrameSource + ?Sized>(
         &mut self,
-        obs: I,
+        src: &S,
         classifier: Option<&dyn Classifier>,
         repredict: bool,
         out: &mut Vec<f64>,
-    ) where
-        I: Iterator<Item = &'a LabeledObservation> + Clone,
-    {
+    ) {
+        let n = src.len();
         let use_preds = if repredict {
             let clf = classifier.expect("re-predicted extraction requires a classifier");
-            self.preds.clear();
-            self.preds.extend(obs.clone().map(|o| clf.predict(o.features())));
+            let Self { preds, proba, .. } = self;
+            preds.clear();
+            for i in 0..n {
+                preds.push(clf.predict_with(src.features(i), proba));
+            }
             true
         } else {
             false
         };
-        self.fill_sequences(obs.clone(), use_preds);
+        self.fill_sequences(src, use_preds);
         out.clear();
         out.resize(self.extractor.schema().len(), 0.0);
         let src_len = self.kinds.len() * self.extractor.functions().len();
@@ -363,9 +667,10 @@ impl FingerprintEngine {
             let importance = &mut out[tail..];
             if let Some(clf) = classifier {
                 let mut counted = 0usize;
-                for o in obs.clone() {
-                    if let Some(contrib) = clf.feature_contributions(o.features()) {
-                        for (acc, c) in importance.iter_mut().zip(contrib) {
+                let Self { contrib, proba, .. } = self;
+                for i in 0..n {
+                    if clf.contributions_with(src.features(i), contrib, proba) {
+                        for (acc, c) in importance.iter_mut().zip(contrib.iter()) {
                             *acc += c.abs();
                         }
                         counted += 1;
@@ -384,36 +689,32 @@ impl FingerprintEngine {
     /// The cached source-sequence pass: materialises every selected
     /// behaviour source into its scratch buffer, optionally substituting
     /// re-predicted labels for the prediction-dependent sources.
-    fn fill_sequences<'a, I>(&mut self, obs: I, use_preds: bool)
-    where
-        I: Iterator<Item = &'a LabeledObservation> + Clone,
-    {
+    fn fill_sequences<S: FrameSource + ?Sized>(&mut self, src: &S, use_preds: bool) {
+        let n = src.len();
         let preds = if use_preds { Some(self.preds.as_slice()) } else { None };
         for (seq, &kind) in self.seqs.iter_mut().zip(self.kinds.iter()) {
             seq.clear();
             match kind {
-                SourceKind::Feature(j) => seq.extend(obs.clone().map(|o| o.features()[j])),
-                SourceKind::Labels => seq.extend(obs.clone().map(|o| o.label() as f64)),
+                SourceKind::Feature(j) => seq.extend((0..n).map(|i| src.features(i)[j])),
+                SourceKind::Labels => seq.extend((0..n).map(|i| src.label(i) as f64)),
                 SourceKind::Predictions => match preds {
                     Some(p) => seq.extend(p.iter().map(|&v| v as f64)),
-                    None => seq.extend(obs.clone().map(|o| o.prediction as f64)),
+                    None => seq.extend((0..n).map(|i| src.prediction(i) as f64)),
                 },
                 SourceKind::Errors => match preds {
                     Some(p) => seq.extend(
-                        obs.clone()
-                            .zip(p)
-                            .map(|(o, &pr)| if pr != o.label() { 1.0 } else { 0.0 }),
+                        (0..n).map(|i| if p[i] != src.label(i) { 1.0 } else { 0.0 }),
                     ),
-                    None => {
-                        seq.extend(obs.clone().map(|o| if o.is_error() { 1.0 } else { 0.0 }))
-                    }
+                    None => seq.extend(
+                        (0..n).map(|i| if src.prediction(i) != src.label(i) { 1.0 } else { 0.0 }),
+                    ),
                 },
                 SourceKind::ErrorDistances => {
                     let mut last: Option<usize> = None;
-                    for (i, o) in obs.clone().enumerate() {
+                    for i in 0..n {
                         let err = match preds {
-                            Some(p) => p[i] != o.label(),
-                            None => o.is_error(),
+                            Some(p) => p[i] != src.label(i),
+                            None => src.prediction(i) != src.label(i),
                         };
                         if err {
                             if let Some(prev) = last {
@@ -480,7 +781,7 @@ impl FingerprintEngine {
             // a disjoint slice of `out` (and its own timing slot), so no
             // synchronisation is needed and the result cannot depend on
             // scheduling.
-            let mut batches: Vec<Vec<(&[f64], Option<TrackedVals>, &mut [f64], &mut u64)>> =
+            let mut batches: Vec<Vec<SourceTask<'_>>> =
                 (0..n_workers).map(|_| Vec::new()).collect();
             for (i, ((seq, chunk), nano)) in
                 seqs.iter().zip(out.chunks_mut(nf)).zip(nanos.iter_mut()).enumerate()
@@ -505,6 +806,12 @@ impl FingerprintEngine {
             });
         }
     }
+}
+
+/// Whether `kind`'s behaviour sequence is independent of the classifier
+/// (and therefore cacheable across a repository sweep).
+fn kind_is_static(kind: SourceKind) -> bool {
+    matches!(kind, SourceKind::Feature(_) | SourceKind::Labels)
 }
 
 /// Evaluates one behaviour source's function block into `out`
@@ -661,6 +968,34 @@ mod tests {
     }
 
     #[test]
+    fn scanned_sweep_matches_plain_repredicted_extraction() {
+        // The repository-sweep fast path: one static scan of a window,
+        // reused across several classifiers, must reproduce the plain
+        // repredicted extraction bit-for-bit — including when the scan is
+        // consumed by a *different* engine instance (the parallel workers).
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let ex = FingerprintExtractor::full(4);
+        let mut engine = FingerprintEngine::new(ex.clone());
+        let mut worker = FingerprintEngine::new(ex);
+        let trees: Vec<HoeffdingTree> =
+            (0..4).map(|_| trained_tree(&mut rng, 4)).collect();
+        let mut scan = StaticScan::new();
+        for trial in 0..3 {
+            let w = window(&mut rng, 30 + trial * 25, 4, 2);
+            engine.static_scan_frames(&w[..], &mut scan);
+            for tree in &trees {
+                let plain = engine.extract_repredicted(&w, tree);
+                let mut scanned = Vec::new();
+                engine.extract_with_scan(&w[..], &scan, tree, &mut scanned);
+                assert_eq!(plain, scanned, "trial {trial}: owner engine diverged");
+                let mut other = Vec::new();
+                worker.extract_with_scan(&w[..], &scan, tree, &mut other);
+                assert_eq!(plain, other, "trial {trial}: worker engine diverged");
+            }
+        }
+    }
+
+    #[test]
     fn engine_matches_legacy_on_ablation_variants() {
         let mut rng = Xoshiro256pp::seed_from_u64(12);
         let variants = [
@@ -752,7 +1087,8 @@ mod tests {
         for o in window(&mut rng, 120, d, 2) {
             tw.push(o);
         }
-        let batch = engine.extract(&tw.to_vec(), None);
+        let contents: Vec<LabeledObservation> = tw.iter().cloned().collect();
+        let batch = engine.extract(&contents, None);
         let tracked = engine.extract_tracked(&tw, None);
         assert_eq!(batch, tracked);
     }
@@ -767,7 +1103,8 @@ mod tests {
         for o in window(&mut rng, 120, d, 2) {
             tw.push(o);
         }
-        let batch = engine.extract(&tw.to_vec(), None);
+        let contents: Vec<LabeledObservation> = tw.iter().cloned().collect();
+        let batch = engine.extract(&contents, None);
         let tracked = engine.extract_tracked(&tw, None);
         assert_eq!(batch.len(), tracked.len());
         for (i, (b, t)) in batch.iter().zip(&tracked).enumerate() {

@@ -35,7 +35,7 @@ pub mod spline;
 
 pub use autocorr::{autocorrelation, partial_autocorrelation};
 pub use emd::{imf_entropies, imf_entropies_scratch, EmdConfig, EmdScratch};
-pub use engine::FingerprintEngine;
+pub use engine::{FingerprintEngine, StaticScan};
 pub use extractor::{DimensionInfo, FingerprintExtractor, FingerprintSchema, SourceSelection};
 pub use functions::{kurtosis, mean, skewness, std_dev, turning_point_rate, MetaFunction};
 pub use mutual_info::{lagged_mutual_information, lagged_mutual_information_scratch, MiScratch};

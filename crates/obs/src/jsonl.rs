@@ -129,8 +129,11 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
+/// Sink receiving one flattened JSONL record as `(key, value)` fields.
+type RecordSink<'a> = dyn FnMut(&[(&str, JsonValue<'_>)]) + 'a;
+
 /// Flattens an event's payload into JSONL fields and emits the line.
-fn event_fields(t: u64, event: &StreamEvent, emit: &mut dyn FnMut(&[(&str, JsonValue<'_>)])) {
+fn event_fields(t: u64, event: &StreamEvent, emit: &mut RecordSink<'_>) {
     let kind = ("kind", JsonValue::Str("event"));
     let ts = ("t", JsonValue::Int(t));
     let name = ("event", JsonValue::Str(event.name()));

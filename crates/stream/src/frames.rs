@@ -1,0 +1,717 @@
+//! Structure-of-arrays frame storage: the hot-path replacement for
+//! per-observation `LabeledObservation` clones.
+//!
+//! Algorithm 1 pushes every observation into the active window `A` *and*
+//! the delayed buffer `B`. Storing each window as a `VecDeque` of owned
+//! observations costs two heap-allocated feature vectors per step plus the
+//! clone traffic itself — none of which the algorithm needs, because both
+//! windows are views over the same most-recent `b + w` frames of the
+//! stream.
+//!
+//! [`FrameStore`] keeps exactly those frames once, as three parallel
+//! columns (a flat row-major `f64` feature arena, labels, predictions) in a
+//! fixed ring. [`FrameWindows`] layers the two windows of Algorithm 1 over
+//! it as *views by age* and maintains the incremental feature/label
+//! [`Moments`] the fingerprint engine's tracked mode consumes.
+//! [`FrameSource`] is the read interface shared by ring views, owned
+//! [`FrameBlock`] snapshots and plain `[LabeledObservation]` slices, so
+//! extraction code is written once and runs allocation-free over any of
+//! them.
+
+use crate::observation::LabeledObservation;
+use crate::stats::Moments;
+use crate::window::TrackedWindow;
+
+/// Read access to a window of frames, index `0` = oldest, `len - 1` =
+/// newest — the iteration order every extraction pass uses.
+pub trait FrameSource {
+    /// Number of frames.
+    fn len(&self) -> usize;
+
+    /// Feature dimensionality of each frame (0 when empty and unknown).
+    fn dims(&self) -> usize;
+
+    /// Feature row of frame `i` (oldest-first indexing).
+    fn features(&self, i: usize) -> &[f64];
+
+    /// Ground-truth label of frame `i`.
+    fn label(&self, i: usize) -> usize;
+
+    /// Prequential prediction recorded with frame `i`.
+    fn prediction(&self, i: usize) -> usize;
+
+    /// Whether the source holds no frames.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Incrementally maintained moment accumulators accompanying a frame
+/// window, substituted for the batch moment sweep by the engine's
+/// incremental-moments mode.
+pub trait MomentSource {
+    /// Number of tracked feature dimensions.
+    fn n_feature_moments(&self) -> usize;
+
+    /// Moment accumulator for feature dimension `j`.
+    fn feature_moments(&self, j: usize) -> &Moments;
+
+    /// Moment accumulator for the label sequence.
+    fn label_moments(&self) -> &Moments;
+}
+
+impl FrameSource for [LabeledObservation] {
+    fn len(&self) -> usize {
+        <[LabeledObservation]>::len(self)
+    }
+
+    fn dims(&self) -> usize {
+        self.first().map_or(0, |o| o.features().len())
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self[i].features()
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self[i].label()
+    }
+
+    fn prediction(&self, i: usize) -> usize {
+        self[i].prediction
+    }
+}
+
+impl FrameSource for TrackedWindow {
+    fn len(&self) -> usize {
+        TrackedWindow::len(self)
+    }
+
+    fn dims(&self) -> usize {
+        self.n_features()
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self.get(i).features()
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self.get(i).label()
+    }
+
+    fn prediction(&self, i: usize) -> usize {
+        self.get(i).prediction
+    }
+}
+
+impl MomentSource for TrackedWindow {
+    fn n_feature_moments(&self) -> usize {
+        self.n_features()
+    }
+
+    fn feature_moments(&self, j: usize) -> &Moments {
+        TrackedWindow::feature_moments(self, j)
+    }
+
+    fn label_moments(&self) -> &Moments {
+        TrackedWindow::label_moments(self)
+    }
+}
+
+/// A fixed-capacity ring of the most recent frames, stored as parallel
+/// columns: features in one flat row-major `f64` arena, labels and
+/// predictions alongside. Rows are addressed by *age* (0 = newest).
+#[derive(Debug, Clone)]
+pub struct FrameStore {
+    dims: usize,
+    rows: usize,
+    /// Ring slot the next frame will be written to.
+    head: usize,
+    /// Total frames ever pushed.
+    pushed: u64,
+    features: Vec<f64>,
+    labels: Vec<usize>,
+    preds: Vec<usize>,
+}
+
+impl FrameStore {
+    /// Ring keeping the `rows` most recent frames of `dims` features each.
+    pub fn new(rows: usize, dims: usize) -> Self {
+        assert!(rows > 0, "frame store capacity must be positive");
+        Self {
+            dims,
+            rows,
+            head: 0,
+            pushed: 0,
+            features: vec![0.0; rows * dims],
+            labels: vec![0; rows],
+            preds: vec![0; rows],
+        }
+    }
+
+    /// Overwrites the oldest slot with a new frame.
+    pub fn push(&mut self, x: &[f64], label: usize, prediction: usize) {
+        debug_assert_eq!(x.len(), self.dims);
+        let at = self.head * self.dims;
+        self.features[at..at + self.dims].copy_from_slice(x);
+        self.labels[self.head] = label;
+        self.preds[self.head] = prediction;
+        self.head = (self.head + 1) % self.rows;
+        self.pushed += 1;
+    }
+
+    /// Frames currently resident (`min(pushed, capacity)`).
+    pub fn len(&self) -> usize {
+        self.pushed.min(self.rows as u64) as usize
+    }
+
+    /// Whether no frame has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Total frames ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Feature dimensionality per frame.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Ring capacity in rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn slot_of_age(&self, age: usize) -> usize {
+        debug_assert!(age < self.len(), "age {age} out of {} resident rows", self.len());
+        (self.head + self.rows - 1 - age) % self.rows
+    }
+
+    /// Feature row of the frame `age` pushes ago (0 = newest).
+    pub fn features_at_age(&self, age: usize) -> &[f64] {
+        let at = self.slot_of_age(age) * self.dims;
+        &self.features[at..at + self.dims]
+    }
+
+    /// Label of the frame `age` pushes ago.
+    pub fn label_at_age(&self, age: usize) -> usize {
+        self.labels[self.slot_of_age(age)]
+    }
+
+    /// Prediction of the frame `age` pushes ago.
+    pub fn prediction_at_age(&self, age: usize) -> usize {
+        self.preds[self.slot_of_age(age)]
+    }
+
+    /// A borrowed window over the frames with ages
+    /// `[newest_age, newest_age + len)`.
+    pub fn view(&self, newest_age: usize, len: usize) -> FrameView<'_> {
+        debug_assert!(len == 0 || newest_age + len <= self.len());
+        FrameView { store: self, newest_age, len }
+    }
+}
+
+/// A borrowed, age-addressed window over a [`FrameStore`]; cheap to copy
+/// and safe to share across scan worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    store: &'a FrameStore,
+    newest_age: usize,
+    len: usize,
+}
+
+impl FrameView<'_> {
+    fn age_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        self.newest_age + self.len - 1 - i
+    }
+}
+
+impl FrameSource for FrameView<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dims(&self) -> usize {
+        self.store.dims
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self.store.features_at_age(self.age_of(i))
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self.store.label_at_age(self.age_of(i))
+    }
+
+    fn prediction(&self, i: usize) -> usize {
+        self.store.prediction_at_age(self.age_of(i))
+    }
+}
+
+/// An owned, contiguous SoA snapshot of a frame window. The drift path
+/// copies the active window into one of these (a single flat memcpy-style
+/// pass, reusing capacity across drifts) so model selection can run while
+/// the ring keeps advancing semantics simple.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBlock {
+    dims: usize,
+    len: usize,
+    features: Vec<f64>,
+    labels: Vec<usize>,
+    preds: Vec<usize>,
+}
+
+impl FrameBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the contents with a copy of `src`, keeping capacity.
+    pub fn copy_from<S: FrameSource + ?Sized>(&mut self, src: &S) {
+        self.dims = src.dims();
+        self.len = src.len();
+        self.features.clear();
+        self.labels.clear();
+        self.preds.clear();
+        for i in 0..self.len {
+            self.features.extend_from_slice(src.features(i));
+            self.labels.push(src.label(i));
+            self.preds.push(src.prediction(i));
+        }
+    }
+
+    /// Drops the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.features.clear();
+        self.labels.clear();
+        self.preds.clear();
+    }
+}
+
+impl FrameSource for FrameBlock {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        let at = i * self.dims;
+        &self.features[at..at + self.dims]
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    fn prediction(&self, i: usize) -> usize {
+        self.preds[i]
+    }
+}
+
+/// A frame view paired with its window's incremental moments — what the
+/// engine's tracked extraction entry points consume.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackedFrames<'a> {
+    view: FrameView<'a>,
+    feat: &'a [Moments],
+    label: &'a Moments,
+}
+
+impl FrameSource for TrackedFrames<'_> {
+    fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.view.dims()
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self.view.features(i)
+    }
+
+    fn label(&self, i: usize) -> usize {
+        self.view.label(i)
+    }
+
+    fn prediction(&self, i: usize) -> usize {
+        self.view.prediction(i)
+    }
+}
+
+impl MomentSource for TrackedFrames<'_> {
+    fn n_feature_moments(&self) -> usize {
+        self.feat.len()
+    }
+
+    fn feature_moments(&self, j: usize) -> &Moments {
+        &self.feat[j]
+    }
+
+    fn label_moments(&self) -> &Moments {
+        self.label
+    }
+}
+
+/// Algorithm 1's two windows as views over one shared [`FrameStore`].
+///
+/// * the active window `A` — the `w` newest frames (ages `[0, w)`),
+/// * the stale window `B` — graduates of the delay buffer, frames between
+///   `b` and `b + w` steps old (ages `[b, b + w)`),
+/// * the holding buffer — the `≤ b` newest frames not yet graduated.
+///
+/// The windows share one arena of `b + w` rows; pushing a frame is one
+/// ring write plus O(d) moment updates, with no per-observation
+/// allocation. `A` and `B` keep the same membership, iteration order,
+/// eviction schedule and moment-rebuild cadence as the legacy
+/// [`TrackedWindow`] / [`crate::window::BufferedWindow`] pair; clearing
+/// the buffer after a drift is a logical restart (frames pushed before
+/// the clear never graduate), exactly like clearing the legacy buffer.
+#[derive(Debug, Clone)]
+pub struct FrameWindows {
+    store: FrameStore,
+    window: usize,
+    delay: usize,
+    /// `pushed` count at the last buffer clear; frames older than this
+    /// never graduate into the stale window.
+    s_start: u64,
+    a_feat: Vec<Moments>,
+    a_label: Moments,
+    a_evictions: usize,
+    s_feat: Vec<Moments>,
+    s_label: Moments,
+    s_evictions: usize,
+}
+
+impl FrameWindows {
+    /// Windows of `window` frames with a graduation delay of `delay`
+    /// frames, over `dims`-dimensional observations.
+    pub fn new(window: usize, delay: usize, dims: usize) -> Self {
+        assert!(window > 0, "window capacity must be positive");
+        Self {
+            store: FrameStore::new(window + delay, dims),
+            window,
+            delay,
+            s_start: 0,
+            a_feat: vec![Moments::new(); dims],
+            a_label: Moments::new(),
+            a_evictions: 0,
+            s_feat: vec![Moments::new(); dims],
+            s_label: Moments::new(),
+            s_evictions: 0,
+        }
+    }
+
+    /// Configured window size `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Configured delay `b`.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Frames currently in the active window `A`.
+    pub fn a_len(&self) -> usize {
+        self.store.pushed.min(self.window as u64) as usize
+    }
+
+    /// Whether `A` has reached capacity.
+    pub fn a_is_full(&self) -> bool {
+        self.a_len() == self.window
+    }
+
+    /// Frames currently in the stale window `B`.
+    pub fn stale_len(&self) -> usize {
+        (self.store.pushed - self.s_start)
+            .saturating_sub(self.delay as u64)
+            .min(self.window as u64) as usize
+    }
+
+    /// Whether `B` has reached capacity.
+    pub fn stale_is_full(&self) -> bool {
+        self.stale_len() == self.window
+    }
+
+    /// Frames held back in the delay buffer (not yet graduated).
+    pub fn holding_len(&self) -> usize {
+        (self.store.pushed - self.s_start).min(self.delay as u64) as usize
+    }
+
+    /// The backing frame arena.
+    pub fn store(&self) -> &FrameStore {
+        &self.store
+    }
+
+    /// Pushes one frame into the shared arena, updating both windows'
+    /// membership and moments. Ring reads of outgoing frames happen before
+    /// the slot overwrite; moment edit order (admit new, then retire
+    /// outgoing) matches [`TrackedWindow::push`].
+    pub fn push(&mut self, x: &[f64], label: usize, prediction: usize) {
+        let (w, b) = (self.window, self.delay);
+        let n_a = self.a_len();
+        let s_len = self.stale_len();
+        let graduates = self.store.pushed - self.s_start >= b as u64;
+
+        for (m, &v) in self.a_feat.iter_mut().zip(x) {
+            m.push(v);
+        }
+        self.a_label.push(label as f64);
+        if n_a == w {
+            let out = self.store.features_at_age(w - 1);
+            for (m, &v) in self.a_feat.iter_mut().zip(out) {
+                m.remove(v);
+            }
+            self.a_label.remove(self.store.label_at_age(w - 1) as f64);
+            self.a_evictions += 1;
+        }
+
+        if graduates {
+            // The frame crossing age `b` enters the stale window; with a
+            // zero delay that is the incoming frame itself.
+            if b == 0 {
+                for (m, &v) in self.s_feat.iter_mut().zip(x) {
+                    m.push(v);
+                }
+                self.s_label.push(label as f64);
+            } else {
+                let g = self.store.features_at_age(b - 1);
+                for (m, &v) in self.s_feat.iter_mut().zip(g) {
+                    m.push(v);
+                }
+                self.s_label.push(self.store.label_at_age(b - 1) as f64);
+            }
+            if s_len == w {
+                let out = self.store.features_at_age(b + w - 1);
+                for (m, &v) in self.s_feat.iter_mut().zip(out) {
+                    m.remove(v);
+                }
+                self.s_label.remove(self.store.label_at_age(b + w - 1) as f64);
+                self.s_evictions += 1;
+            }
+        }
+
+        self.store.push(x, label, prediction);
+
+        if self.a_evictions >= TrackedWindow::REBUILD_INTERVAL {
+            self.rebuild_a();
+        }
+        if self.s_evictions >= TrackedWindow::REBUILD_INTERVAL {
+            self.rebuild_s();
+        }
+    }
+
+    /// Logically empties the delay buffer and stale window (the ring keeps
+    /// its frames; they simply never graduate). The active window is
+    /// untouched, mirroring the legacy post-drift `buffer.clear()`.
+    pub fn clear_buffer(&mut self) {
+        self.s_start = self.store.pushed;
+        for m in &mut self.s_feat {
+            m.reset();
+        }
+        self.s_label.reset();
+        self.s_evictions = 0;
+    }
+
+    /// View over the active window `A`, oldest first.
+    pub fn a_view(&self) -> FrameView<'_> {
+        self.store.view(0, self.a_len())
+    }
+
+    /// View over the stale window `B`, oldest first.
+    pub fn stale_view(&self) -> FrameView<'_> {
+        self.store.view(self.delay, self.stale_len())
+    }
+
+    /// The active window paired with its incremental moments.
+    pub fn a_tracked(&self) -> TrackedFrames<'_> {
+        TrackedFrames { view: self.a_view(), feat: &self.a_feat, label: &self.a_label }
+    }
+
+    /// The stale window paired with its incremental moments.
+    pub fn stale_tracked(&self) -> TrackedFrames<'_> {
+        TrackedFrames { view: self.stale_view(), feat: &self.s_feat, label: &self.s_label }
+    }
+
+    fn rebuild_a(&mut self) {
+        for m in &mut self.a_feat {
+            m.reset();
+        }
+        self.a_label.reset();
+        let view = self.store.view(0, self.a_len());
+        for i in 0..view.len() {
+            for (m, &v) in self.a_feat.iter_mut().zip(view.features(i)) {
+                m.push(v);
+            }
+            self.a_label.push(view.label(i) as f64);
+        }
+        self.a_evictions = 0;
+    }
+
+    fn rebuild_s(&mut self) {
+        for m in &mut self.s_feat {
+            m.reset();
+        }
+        self.s_label.reset();
+        let view = self.store.view(self.delay, self.stale_len());
+        for i in 0..view.len() {
+            for (m, &v) in self.s_feat.iter_mut().zip(view.features(i)) {
+                m.push(v);
+            }
+            self.s_label.push(view.label(i) as f64);
+        }
+        self.s_evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{BufferedWindow, SlidingWindow};
+
+    fn obs(i: usize) -> (Vec<f64>, usize, usize) {
+        (vec![i as f64, (i as f64 * 0.7).sin()], i % 3, (i + 1) % 3)
+    }
+
+    /// Reference pair of legacy windows driven in lockstep with
+    /// `FrameWindows`; membership and order must agree at every step.
+    #[test]
+    fn views_match_legacy_windows_exactly() {
+        let (w, b, d) = (5, 3, 2);
+        let mut frames = FrameWindows::new(w, b, d);
+        let mut legacy_a = SlidingWindow::new(w);
+        let mut legacy_b = BufferedWindow::new(b, w, d);
+        for i in 0..40 {
+            let (x, y, p) = obs(i);
+            let lo = LabeledObservation::new(x.clone(), y, p);
+            legacy_a.push(lo.clone());
+            legacy_b.push(lo);
+            frames.push(&x, y, p);
+            if i == 17 {
+                frames.clear_buffer();
+                legacy_b.clear();
+            }
+
+            let a = frames.a_view();
+            assert_eq!(a.len(), legacy_a.len(), "step {i}: A length");
+            for (j, o) in legacy_a.iter().enumerate() {
+                assert_eq!(a.features(j), o.features(), "step {i} A row {j}");
+                assert_eq!(a.label(j), o.label());
+                assert_eq!(a.prediction(j), o.prediction);
+            }
+
+            let s = frames.stale_view();
+            assert_eq!(s.len(), legacy_b.stale().len(), "step {i}: B length");
+            assert_eq!(frames.holding_len(), legacy_b.holding_len(), "step {i}: holding");
+            for (j, o) in legacy_b.stale().iter().enumerate() {
+                assert_eq!(s.features(j), o.features(), "step {i} B row {j}");
+                assert_eq!(s.label(j), o.label());
+            }
+            assert_eq!(frames.a_is_full(), legacy_a.is_full());
+            assert_eq!(frames.stale_is_full(), legacy_b.stale().is_full());
+        }
+    }
+
+    #[test]
+    fn moments_match_tracked_windows() {
+        let (w, b, d) = (6, 4, 2);
+        let mut frames = FrameWindows::new(w, b, d);
+        let mut legacy_a = TrackedWindow::new(w, d);
+        let mut legacy_b = BufferedWindow::new(b, w, d);
+        for i in 0..60 {
+            let (x, y, p) = obs(i);
+            legacy_a.push(LabeledObservation::new(x.clone(), y, p));
+            legacy_b.push(LabeledObservation::new(x.clone(), y, p));
+            frames.push(&x, y, p);
+            let ta = frames.a_tracked();
+            let ts = frames.stale_tracked();
+            for j in 0..d {
+                assert_eq!(
+                    ta.feature_moments(j).mean(),
+                    legacy_a.feature_moments(j).mean(),
+                    "step {i} A dim {j}"
+                );
+                assert_eq!(
+                    ts.feature_moments(j).count(),
+                    legacy_b.stale().feature_moments(j).count(),
+                    "step {i} B dim {j}"
+                );
+                assert_eq!(
+                    ts.feature_moments(j).mean(),
+                    legacy_b.stale().feature_moments(j).mean(),
+                    "step {i} B dim {j}"
+                );
+            }
+            assert_eq!(ta.label_moments().mean(), legacy_a.label_moments().mean());
+            assert_eq!(ts.label_moments().mean(), legacy_b.stale().label_moments().mean());
+        }
+    }
+
+    #[test]
+    fn zero_delay_graduates_immediately() {
+        let mut frames = FrameWindows::new(4, 0, 1);
+        frames.push(&[1.0], 0, 0);
+        assert_eq!(frames.stale_len(), 1);
+        assert_eq!(frames.holding_len(), 0);
+        assert_eq!(frames.stale_view().features(0), &[1.0]);
+    }
+
+    #[test]
+    fn frame_block_snapshots_a_view() {
+        let mut frames = FrameWindows::new(3, 2, 2);
+        for i in 0..7 {
+            let (x, y, p) = obs(i);
+            frames.push(&x, y, p);
+        }
+        let mut block = FrameBlock::new();
+        block.copy_from(&frames.a_view());
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.dims(), 2);
+        for i in 0..3 {
+            assert_eq!(block.features(i), frames.a_view().features(i));
+            assert_eq!(block.label(i), frames.a_view().label(i));
+            assert_eq!(block.prediction(i), frames.a_view().prediction(i));
+        }
+        // Reuse keeps capacity.
+        let cap = block.features.capacity();
+        block.copy_from(&frames.a_view());
+        assert_eq!(block.features.capacity(), cap);
+    }
+
+    #[test]
+    fn slice_source_matches_observations() {
+        let obs: Vec<LabeledObservation> = (0..4)
+            .map(|i| LabeledObservation::new(vec![i as f64], i % 2, (i + 1) % 2))
+            .collect();
+        let src: &[LabeledObservation] = &obs;
+        assert_eq!(FrameSource::len(src), 4);
+        assert_eq!(src.dims(), 1);
+        assert_eq!(src.features(2), &[2.0]);
+        assert_eq!(FrameSource::label(src, 3), 1);
+        assert_eq!(src.prediction(0), 1);
+    }
+
+    #[test]
+    fn rebuild_keeps_moments_consistent() {
+        // Force many evictions through a tiny window to cross the rebuild
+        // interval; the moments must stay equal to a batch recompute.
+        let mut frames = FrameWindows::new(10, 1, 1);
+        for i in 0..(TrackedWindow::REBUILD_INTERVAL + 50) {
+            frames.push(&[(i as f64 * 0.13).sin()], i % 2, 0);
+        }
+        let view = frames.a_view();
+        let mean: f64 =
+            (0..view.len()).map(|i| view.features(i)[0]).sum::<f64>() / view.len() as f64;
+        assert!((frames.a_tracked().feature_moments(0).mean() - mean).abs() < 1e-9);
+    }
+}

@@ -13,12 +13,14 @@
 //! * online statistics ([`RunningStats`], [`MinMaxScaler`]) used by the
 //!   fingerprinting and weighting machinery.
 
+pub mod frames;
 pub mod observation;
 pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod window;
 
+pub use frames::{FrameBlock, FrameSource, FrameStore, FrameView, FrameWindows, MomentSource, TrackedFrames};
 pub use observation::{LabeledObservation, Observation};
 pub use rng::{RandomSource, Xoshiro256pp};
 pub use stats::{EwStats, MinMaxScaler, Moments, RunningStats};

@@ -572,7 +572,7 @@ mod tests {
     fn hplane_u_concepts_differ_in_feature_means() {
         let stream = hplane_u_stream(4);
         let mut sums = vec![vec![0.0f64; 10]; 6];
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for o in stream.observations() {
             counts[o.concept] += 1;
             for (s, v) in sums[o.concept].iter_mut().zip(&o.features) {

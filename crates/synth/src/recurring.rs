@@ -41,7 +41,7 @@ impl RecurringStreamBuilder {
         assert!(n_concepts > 0);
         let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mut slots: Vec<usize> = (0..n_concepts)
-            .flat_map(|c| std::iter::repeat(c).take(self.n_recurrences))
+            .flat_map(|c| std::iter::repeat_n(c, self.n_recurrences))
             .collect();
         // Fisher-Yates.
         for i in (1..slots.len()).rev() {

@@ -91,7 +91,7 @@ fn synth_family_injects_the_declared_drift_type() {
     let d_stream = synth_stream(&[SynthDrift::Distribution], 3, 400, 9);
     let f_stream = synth_stream(&[SynthDrift::Frequency], 3, 400, 9);
     let per_concept = |s: &ficsum_stream::VecStream| -> Vec<f64> {
-        let mut sums = vec![0.0; 3];
+        let mut sums = [0.0; 3];
         let mut counts = vec![0usize; 3];
         for o in s.observations() {
             sums[o.concept] += o.features[0];

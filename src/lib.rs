@@ -68,7 +68,7 @@ pub mod prelude {
         AdaptiveRandomForest, Classifier, ClassifierFactory, GaussianNaiveBayes, HoeffdingTree,
     };
     pub use ficsum_core::{
-        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, StepOutcome, Variant,
+        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, FicsumStats, StepOutcome, Variant,
     };
     pub use ficsum_drift::{
         Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
