@@ -17,16 +17,16 @@ echo "== property tests =="
 cargo test -q --features property-tests
 
 echo "== deprecated accessor allowlist =="
-# The legacy trace accessors are deprecated thin views over the recorder
-# (DESIGN.md "Observability"). Every remaining use must carry
+# The legacy post-build setters on `Ficsum` are deprecated shims over
+# `FicsumBuilder` options (DESIGN.md "Serving & sharding" → "Deprecation
+# schedule"); the legacy trace accessors and window `to_vec` clones were
+# removed outright. Every remaining deprecated use must carry
 # #[allow(deprecated)], and those annotations may only live in the files
-# below (definitions, the eval shim, re-exports, and the parity /
-# back-compat tests). Anything new must use the Recorder API instead.
-# The same rule covers the deprecated `to_vec` deep-clone window accessors
-# (DESIGN.md "Hot path & allocation budget"): their only allowed
-# annotation is the definition-site shim in crates/stream/src/window.rs.
+# below: the eval `evaluate` shim and its re-export, and the baselines
+# adapter whose `attach_recorder` contract predates the builder options.
+# Anything new must configure at construction time instead.
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
-allowlist='^\./crates/core/src/framework\.rs$|^\./crates/core/src/variant\.rs$|^\./crates/eval/src/runner\.rs$|^\./crates/eval/src/lib\.rs$|^\./src/lib\.rs$|^\./tests/observability\.rs$|^\./tests/integration\.rs$|^\./crates/stream/src/window\.rs$'
+allowlist='^\./crates/eval/src/runner\.rs$|^\./crates/eval/src/lib\.rs$|^\./src/lib\.rs$|^\./crates/baselines/src/ficsum_adapter\.rs$'
 offenders=$(grep -rlE 'allow\(deprecated\)' --include='*.rs' ./src ./crates ./tests ./examples \
   | grep -vE "$allowlist" || true)
 if [ -n "$offenders" ]; then
@@ -48,5 +48,19 @@ if [ ! -f BENCH_stream.json ]; then
 fi
 cargo run --release -q -p ficsum-bench --bin stream_throughput -- \
   --repeat 3 --check BENCH_stream.json --min-ratio 0.8
+
+echo "== perf smoke (serve_throughput vs committed baseline) =="
+# Aggregate multi-session serving throughput (sessions x shards) against
+# the committed BENCH_serve.json (DESIGN.md "Serving & sharding"). The
+# baseline's `cores` field records the machine it was taken on; the gate
+# regresses same-machine throughput, failing on a >20% drop.
+if [ ! -f BENCH_serve.json ]; then
+  echo "BENCH_serve.json missing; record it with:" >&2
+  echo "  cargo run --release -p ficsum-bench --bin serve_throughput -- \\" >&2
+  echo "    --repeat 5 --out BENCH_serve.json" >&2
+  exit 1
+fi
+cargo run --release -q -p ficsum-bench --bin serve_throughput -- \
+  --repeat 3 --check BENCH_serve.json --min-ratio 0.8
 
 echo "ci.sh: all gates passed"

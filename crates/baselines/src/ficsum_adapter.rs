@@ -53,6 +53,10 @@ impl EvaluatedSystem for FicsumSystem {
     }
 
     fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) -> bool {
+        // The eval contract attaches recorders to an already-built system;
+        // the shim is the supported bridge until EvaluatedSystem grows a
+        // construction-time hook.
+        #[allow(deprecated)]
         self.inner.set_recorder(recorder);
         true
     }
@@ -85,7 +89,7 @@ mod tests {
             stream.dims(),
             2,
             Variant::Full,
-            FicsumConfig { window_size: 50, fingerprint_gap: 5, ..FicsumConfig::default() },
+            FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5),
         );
         let result = evaluate_with(&mut system, &mut stream, &RunOptions::new(2).observed());
         assert!(result.kappa > 0.3, "kappa {}", result.kappa);

@@ -15,10 +15,10 @@ fn variants() -> Vec<(&'static str, FicsumConfig)> {
     let base = FicsumConfig::default();
     vec![
         ("full", base),
-        ("no second check", FicsumConfig { second_check: false, ..base }),
-        ("no plasticity", FicsumConfig { plasticity: false, ..base }),
-        ("no rebase", FicsumConfig { rebase_similarity: false, ..base }),
-        ("no buffer (b=1)", FicsumConfig { buffer_ratio: 0.014, ..base }),
+        ("no second check", base.with_second_check(false)),
+        ("no plasticity", base.with_plasticity(false)),
+        ("no rebase", base.with_rebase_similarity(false)),
+        ("no buffer (b=1)", base.with_buffer_ratio(0.014)),
     ]
 }
 

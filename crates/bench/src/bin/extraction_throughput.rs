@@ -1,6 +1,6 @@
 //! Fingerprint extraction throughput: the pre-engine framework path
-//! (materialise the tracked window with `to_vec`, clone-and-relabel every
-//! observation, then run [`FingerprintExtractor::extract`]) against the
+//! (materialise the tracked window into an owned `Vec`, clone-and-relabel
+//! every observation, then run [`FingerprintExtractor::extract`]) against the
 //! reusable [`FingerprintEngine`] reading the [`TrackedWindow`] directly,
 //! on the 20-feature / 100-observation window the engine's parity tests
 //! use.
@@ -134,7 +134,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>14.0} {:>14.3}",
-        "legacy (to_vec + relabel)",
+        "legacy (clone + relabel)",
         legacy.units_per_sec(),
         legacy.secs_per_iter() * 1e3
     );

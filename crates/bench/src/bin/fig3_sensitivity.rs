@@ -42,28 +42,28 @@ fn main() {
             "window w",
             [25usize, 50, 100, 150]
                 .iter()
-                .map(|&w| FicsumConfig { window_size: w, ..base_config })
+                .map(|&w| base_config.with_window_size(w))
                 .collect(),
         ),
         (
             "buffer ratio",
             [0.05f64, 0.15, 0.5, 1.0]
                 .iter()
-                .map(|&r| FicsumConfig { buffer_ratio: r, ..base_config })
+                .map(|&r| base_config.with_buffer_ratio(r))
                 .collect(),
         ),
         (
             "P_C",
             [1usize, 6, 12, 24]
                 .iter()
-                .map(|&p| FicsumConfig { fingerprint_gap: p, ..base_config })
+                .map(|&p| base_config.with_fingerprint_gap(p))
                 .collect(),
         ),
         (
             "P_S",
             [5usize, 50, 100, 200]
                 .iter()
-                .map(|&p| FicsumConfig { repository_gap: p, ..base_config })
+                .map(|&p| base_config.with_repository_gap(p))
                 .collect(),
         ),
     ];

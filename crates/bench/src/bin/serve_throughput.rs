@@ -1,0 +1,244 @@
+//! Multi-session serving throughput: aggregate `StreamServer` steps/sec
+//! across sessions × shards, submit→reply latency, and the scaling ratio
+//! against a single standalone pipeline on the same tape.
+//!
+//! `--out BENCH_serve.json` records the committed baseline; `--check
+//! BENCH_serve.json` fails (exit 1) when aggregate throughput drops more
+//! than 20% below it. The `cores` field keeps baselines honest: scaling
+//! beyond 1x is only expected when the machine actually has spare cores
+//! (the ≥3x target presumes ≥4), so the check regresses throughput on the
+//! same machine rather than asserting an absolute ratio.
+//!
+//! Usage:
+//!
+//! ```sh
+//! serve_throughput [--sessions N] [--shards S] [--steps K] [--seed S]
+//!                  [--repeat R] [--out PATH] [--check PATH] [--min-ratio F]
+//! ```
+//!
+//! Defaults: 64 sessions over 4 shards, 400 steps per session, best of 3.
+
+use std::time::Instant;
+
+use ficsum_core::{FicsumConfig, SessionTemplate, Variant};
+use ficsum_serve::{ServeConfig, SessionId, StreamServer, Submit};
+use ficsum_stream::StreamSource;
+use ficsum_synth::dataset_by_name;
+
+#[derive(Debug)]
+struct Args {
+    sessions: usize,
+    shards: usize,
+    steps: usize,
+    seed: u64,
+    repeat: usize,
+    out: Option<String>,
+    check: Option<String>,
+    min_ratio: f64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut a = Args {
+        sessions: 64,
+        shards: 4,
+        steps: 400,
+        seed: 42,
+        repeat: 3,
+        out: None,
+        check: None,
+        min_ratio: 0.8,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| panic!("{} requires a value", argv[i])).clone()
+        };
+        match argv[i].as_str() {
+            "--sessions" => a.sessions = val(i).parse().expect("--sessions"),
+            "--shards" => a.shards = val(i).parse().expect("--shards"),
+            "--steps" => a.steps = val(i).parse().expect("--steps"),
+            "--seed" => a.seed = val(i).parse().expect("--seed"),
+            "--repeat" => a.repeat = val(i).parse().expect("--repeat"),
+            "--out" => a.out = Some(val(i)),
+            "--check" => a.check = Some(val(i)),
+            "--min-ratio" => a.min_ratio = val(i).parse().expect("--min-ratio"),
+            other => panic!("unknown option {other}"),
+        }
+        i += 2;
+    }
+    a
+}
+
+#[derive(Debug, Clone)]
+struct Measurement {
+    served_steps: usize,
+    seconds: f64,
+    single_steps_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_queue_depth: usize,
+}
+
+fn template() -> SessionTemplate {
+    SessionTemplate::new(3, 2, FicsumConfig::default(), Variant::Full)
+        .expect("default config is valid")
+}
+
+/// One tape of STAGGER observations shared by every session: each session
+/// runs the same workload, so aggregate throughput divides cleanly by the
+/// single-pipeline figure.
+fn tape(seed: u64, steps: usize) -> Vec<(Vec<f64>, usize)> {
+    let mut stream = dataset_by_name("STAGGER", seed).expect("STAGGER exists");
+    (0..steps)
+        .map(|_| {
+            let o = stream.next_observation().expect("synthetic streams are infinite");
+            (o.features.clone(), o.label)
+        })
+        .collect()
+}
+
+fn run_once(args: &Args) -> Measurement {
+    let data = tape(args.seed, args.steps);
+
+    // Reference: the same tape through one standalone pipeline.
+    let mut single = template().instantiate();
+    let t_single = Instant::now();
+    for (features, label) in &data {
+        single.process(features, *label);
+    }
+    let single_steps_per_sec = args.steps as f64 / t_single.elapsed().as_secs_f64();
+
+    let total = args.sessions * args.steps;
+    let server = StreamServer::new(
+        template(),
+        ServeConfig::default()
+            .with_shards(args.shards)
+            // Room for the whole run: the bench measures processing
+            // throughput, not backpressure.
+            .with_queue_capacity(total)
+            .with_max_sessions_per_shard(args.sessions.max(1)),
+    );
+    let t_run = Instant::now();
+    let mut replies = Vec::with_capacity(args.steps);
+    for (features, label) in &data {
+        let wave: Vec<Submit> = (0..args.sessions)
+            .map(|s| Submit::new(SessionId(s as u64), features.clone(), *label))
+            .collect();
+        replies.push(server.try_submit(&wave).expect("queue sized for the whole run"));
+    }
+    let mut served_steps = 0usize;
+    for reply in replies {
+        served_steps += reply.wait().len();
+    }
+    let seconds = t_run.elapsed().as_secs_f64();
+    assert_eq!(served_steps, total, "every submitted request must be served");
+
+    let report = server.shutdown();
+    let mut latency = ficsum_obs::LatencyHistogram::new();
+    let mut max_queue_depth = 0usize;
+    for m in &report.metrics {
+        latency.merge(&m.latency);
+        max_queue_depth = max_queue_depth.max(m.max_queue_depth);
+    }
+    Measurement {
+        served_steps,
+        seconds,
+        single_steps_per_sec,
+        p50_us: latency.quantile_nanos(0.50) as f64 / 1e3,
+        p99_us: latency.quantile_nanos(0.99) as f64 / 1e3,
+        max_queue_depth,
+    }
+}
+
+fn json_line(args: &Args, m: &Measurement, steps_per_sec: f64, cores: usize) -> String {
+    let scaling = steps_per_sec / m.single_steps_per_sec;
+    format!(
+        "{{\"bench\":\"serve_throughput\",\"sessions\":{},\"shards\":{},\"steps\":{},\
+         \"seed\":{},\"cores\":{},\"steps_per_sec\":{:.1},\"single_steps_per_sec\":{:.1},\
+         \"scaling\":{:.3},\"latency_p50_us\":{:.1},\"latency_p99_us\":{:.1},\
+         \"max_queue_depth\":{}}}",
+        args.sessions,
+        args.shards,
+        args.steps,
+        args.seed,
+        cores,
+        steps_per_sec,
+        m.single_steps_per_sec,
+        scaling,
+        m.p50_us,
+        m.p99_us,
+        m.max_queue_depth
+    )
+}
+
+/// Pulls a numeric field out of a single-object JSON line without a JSON
+/// dependency (the file is machine-written by this binary).
+fn json_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Best-of-R repeats: throughput noise is one-sided (scheduling stalls
+    // only ever slow a run down), so the max is the honest estimate.
+    let mut best: Option<(f64, Measurement)> = None;
+    for _ in 0..args.repeat.max(1) {
+        let m = run_once(&args);
+        let sps = m.served_steps as f64 / m.seconds;
+        if best.as_ref().is_none_or(|(b, _)| sps > *b) {
+            best = Some((sps, m));
+        }
+    }
+    let (steps_per_sec, m) = best.expect("at least one repeat");
+    let scaling = steps_per_sec / m.single_steps_per_sec;
+
+    println!(
+        "serve_throughput: {} sessions x {} steps over {} shards ({cores} cores) -> \
+         {:.0} steps/sec aggregate ({:.2}x one pipeline at {:.0}), \
+         latency p50 {:.1} us p99 {:.1} us, max queue depth {}",
+        args.sessions,
+        args.steps,
+        args.shards,
+        steps_per_sec,
+        scaling,
+        m.single_steps_per_sec,
+        m.p50_us,
+        m.p99_us,
+        m.max_queue_depth
+    );
+    if cores >= 4 && args.shards >= 4 && scaling < 3.0 {
+        eprintln!(
+            "note: scaling {scaling:.2}x is below the 3x target expected with \
+             {cores} cores; investigate shard balance before committing a baseline"
+        );
+    }
+
+    let line = json_line(&args, &m, steps_per_sec, cores);
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{line}\n")).unwrap_or_else(|e| panic!("--out {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.check {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check {path}: {e}"));
+        let base_sps = json_field(&baseline, "steps_per_sec")
+            .unwrap_or_else(|| panic!("--check {path}: no steps_per_sec field"));
+        let ratio = steps_per_sec / base_sps;
+        println!(
+            "perf check: {steps_per_sec:.0} steps/sec vs baseline {base_sps:.0} \
+             (ratio {ratio:.2}, floor {:.2})",
+            args.min_ratio
+        );
+        if ratio < args.min_ratio {
+            eprintln!("PERF REGRESSION: throughput ratio {ratio:.2} below {:.2}", args.min_ratio);
+            std::process::exit(1);
+        }
+    }
+}

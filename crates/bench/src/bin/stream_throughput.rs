@@ -121,15 +121,14 @@ fn run_once(args: &Args) -> Measurement {
     let stream = dataset_by_name(&args.dataset, args.seed)
         .unwrap_or_else(|| panic!("unknown dataset {}", args.dataset));
     let data: Vec<_> = stream.observations().iter().take(args.steps).cloned().collect();
-    let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes())
+    let mut builder = FicsumBuilder::new(stream.dims(), stream.n_classes())
         .variant(Variant::Full)
         .config(FicsumConfig::default())
-        .build()
-        .expect("default configuration is valid");
-    system.set_parallelism(args.threads);
+        .parallelism(args.threads);
     if args.stages {
-        system.set_recorder(Box::new(ficsum_obs::InMemoryRecorder::new()));
+        builder = builder.recorder(Box::new(ficsum_obs::InMemoryRecorder::new()));
     }
+    let mut system = builder.build().expect("default configuration is valid");
 
     // Steady state begins once windows are full and the first concepts
     // exist; everything before is warm-up for the allocation accounting.

@@ -80,7 +80,20 @@ impl std::error::Error for ConfigError {}
 ///
 /// Defaults follow the paper's tuned values (Section VI-2): `w = 75`,
 /// buffer ratio `0.25`, `P_C = 3`, `P_S = 25`.
+///
+/// The struct is `#[non_exhaustive]`: construct it as
+/// `FicsumConfig::default()` refined through the `with_*` setters (fields
+/// stay `pub`, so reading — and in-place mutation before the config is
+/// handed to a builder — keeps working). New knobs can then be added
+/// without breaking downstream construction sites.
+///
+/// ```
+/// use ficsum_core::FicsumConfig;
+/// let c = FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5);
+/// assert_eq!(c.window_size, 50);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct FicsumConfig {
     /// Window size `w`: length of both the active window `A` and the stale
     /// buffer window `B`.
@@ -180,7 +193,59 @@ impl Default for FicsumConfig {
     }
 }
 
+macro_rules! with_setters {
+    ($($(#[$doc:meta])* $with:ident: $field:ident: $ty:ty;)*) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $with(mut self, value: $ty) -> Self {
+                self.$field = value;
+                self
+            }
+        )*
+    };
+}
+
 impl FicsumConfig {
+    with_setters! {
+        /// Returns the config with `window_size` replaced.
+        with_window_size: window_size: usize;
+        /// Returns the config with `buffer_ratio` replaced.
+        with_buffer_ratio: buffer_ratio: f64;
+        /// Returns the config with `fingerprint_gap` replaced.
+        with_fingerprint_gap: fingerprint_gap: usize;
+        /// Returns the config with `repository_gap` replaced.
+        with_repository_gap: repository_gap: usize;
+        /// Returns the config with `detector_delta` replaced.
+        with_detector_delta: detector_delta: f64;
+        /// Returns the config with `sim_alpha` replaced.
+        with_sim_alpha: sim_alpha: f64;
+        /// Returns the config with `accept_sigma` replaced.
+        with_accept_sigma: accept_sigma: f64;
+        /// Returns the config with `sigma_floor` replaced.
+        with_sigma_floor: sigma_floor: f64;
+        /// Returns the config with `sim_sigma_floor` replaced.
+        with_sim_sigma_floor: sim_sigma_floor: f64;
+        /// Returns the config with `deviation_clamp` replaced.
+        with_deviation_clamp: deviation_clamp: f64;
+        /// Returns the config with `hard_z` replaced.
+        with_hard_z: hard_z: f64;
+        /// Returns the config with `hard_consecutive` replaced.
+        with_hard_consecutive: hard_consecutive: u32;
+        /// Returns the config with `outlier_z` replaced.
+        with_outlier_z: outlier_z: f64;
+        /// Returns the config with `new_concept_grace` replaced.
+        with_new_concept_grace: new_concept_grace: usize;
+        /// Returns the config with `max_repository` replaced.
+        with_max_repository: max_repository: usize;
+        /// Returns the config with `second_check` replaced.
+        with_second_check: second_check: bool;
+        /// Returns the config with `plasticity` replaced.
+        with_plasticity: plasticity: bool;
+        /// Returns the config with `rebase_similarity` replaced.
+        with_rebase_similarity: rebase_similarity: bool;
+    }
+
     /// The buffer delay `b` implied by the window size and buffer ratio.
     pub fn buffer_delay(&self) -> usize {
         ((self.window_size as f64 * self.buffer_ratio).ceil() as usize).max(1)
@@ -292,6 +357,26 @@ mod tests {
         for (config, expected) in cases {
             assert_eq!(config.validate(), Err(expected), "{expected:?}");
         }
+    }
+
+    #[test]
+    fn with_setters_replace_exactly_one_field() {
+        let c = FicsumConfig::default()
+            .with_window_size(50)
+            .with_fingerprint_gap(5)
+            .with_repository_gap(50)
+            .with_max_repository(3)
+            .with_second_check(false);
+        assert_eq!(c.window_size, 50);
+        assert_eq!(c.fingerprint_gap, 5);
+        assert_eq!(c.repository_gap, 50);
+        assert_eq!(c.max_repository, 3);
+        assert!(!c.second_check);
+        // Untouched fields keep their defaults.
+        let d = FicsumConfig::default();
+        assert_eq!(c.buffer_ratio, d.buffer_ratio);
+        assert_eq!(c.detector_delta, d.detector_delta);
+        assert_eq!(c.plasticity, d.plasticity);
     }
 
     #[test]

@@ -15,7 +15,12 @@ use crate::similarity::{fingerprint_similarity, fingerprint_similarity_unit, Cac
 use crate::weights::DynamicWeights;
 
 /// What happened while processing one observation.
+///
+/// `#[non_exhaustive]`: downstream code reads fields (all `pub`) but only
+/// the framework constructs values, so new per-step facts can be added
+/// without a breaking release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct StepOutcome {
     /// Prequential prediction made *before* training on the observation.
     pub prediction: usize,
@@ -166,12 +171,10 @@ pub struct Ficsum {
     scan_threads: usize,
     t: u64,
     pending_recheck: Option<PendingRecheck>,
-    drift_points: Vec<u64>,
     stats: FicsumStats,
     n_classes: usize,
     n_features: usize,
     last_similarity: Option<f64>,
-    trace: Option<Vec<(u64, f64)>>,
     /// Consecutive extreme-deviation checks (hard drift trigger).
     extreme_streak: u32,
     /// Last observation index at which a plasticity reset happened.
@@ -235,7 +238,6 @@ impl Ficsum {
             scan_threads: 1,
             t: 0,
             pending_recheck: None,
-            drift_points: Vec::new(),
             stats: FicsumStats::default(),
             config,
             engine: FingerprintEngine::new(extractor),
@@ -243,7 +245,6 @@ impl Ficsum {
             n_classes,
             n_features,
             last_similarity: None,
-            trace: None,
             extreme_streak: 0,
             last_plasticity: 0,
             baseline_outliers: 0,
@@ -251,24 +252,22 @@ impl Ficsum {
         })
     }
 
-    /// Sets the number of worker threads the pipeline may use: the
-    /// fingerprint engine fans behaviour sources across them during
-    /// extraction, and the recurrence scan at drift fans stored concepts
-    /// across them (1 = sequential, the default). Both parallel paths are
-    /// bit-identical to sequential, so this only changes wall-clock
-    /// behaviour.
-    pub fn set_parallelism(&mut self, threads: usize) {
+    /// Sets the worker-thread count (see
+    /// [`crate::variant::FicsumBuilder::parallelism`]). The fingerprint
+    /// engine fans behaviour sources across the threads during extraction,
+    /// and the recurrence scan at drift fans stored concepts across them
+    /// (1 = sequential, the default). Both parallel paths are bit-identical
+    /// to sequential, so this only changes wall-clock behaviour.
+    pub(crate) fn configure_parallelism(&mut self, threads: usize) {
         self.engine.set_threads(threads);
         self.scan_threads = threads.max(1);
         self.scan_pool.clear();
     }
 
     /// Lets the engine substitute the window's incremental moments for the
-    /// batch moment sweep (O(1) per observation, ≤ 1e-9 relative
-    /// difference). Off by default because drift trajectories are feedback
-    /// loops: bit-exactness keeps them reproducible against the reference
-    /// path.
-    pub fn set_incremental_moments(&mut self, on: bool) {
+    /// batch moment sweep (see
+    /// [`crate::variant::FicsumBuilder::incremental_moments`]).
+    pub(crate) fn configure_incremental_moments(&mut self, on: bool) {
         self.engine.set_incremental_moments(on);
         self.scan_pool.clear();
     }
@@ -278,21 +277,52 @@ impl Ficsum {
         &self.engine
     }
 
-    /// Attaches an observability recorder: every event, counter, gauge and
-    /// stage span the pipeline produces is delivered to it. The default is
-    /// [`NullRecorder`], whose calls compile to nothing.
+    /// Attaches an observability recorder (see
+    /// [`crate::variant::FicsumBuilder::recorder`]): every event, counter,
+    /// gauge and stage span the pipeline produces is delivered to it. The
+    /// default is [`NullRecorder`], whose calls compile to nothing.
     ///
     /// Attaching an *enabled* recorder also switches on the fingerprint
     /// engine's per-source extraction timing (shared clock); attaching a
     /// disabled one switches it off again.
-    ///
-    /// To read results back after a run, attach a shared handle
-    /// ([`ficsum_obs::shared`]) and keep the other clone, or downcast
-    /// [`Ficsum::recorder`] via [`Recorder::as_any`].
-    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+    pub(crate) fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.engine
             .set_clock(recorder.enabled().then(|| Arc::clone(&self.clock)));
         self.recorder = recorder;
+    }
+
+    /// Deprecated post-build shim for builder-time configuration.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `FicsumBuilder::parallelism`; \
+                a built `Ficsum` is immutable-by-default"
+    )]
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.configure_parallelism(threads);
+    }
+
+    /// Deprecated post-build shim for builder-time configuration.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `FicsumBuilder::incremental_moments`; \
+                a built `Ficsum` is immutable-by-default"
+    )]
+    pub fn set_incremental_moments(&mut self, on: bool) {
+        self.configure_incremental_moments(on);
+    }
+
+    /// Deprecated post-build shim for builder-time configuration.
+    ///
+    /// To read results back after a run, attach a shared handle
+    /// ([`ficsum_obs::shared`]) at build time and keep the other clone, or
+    /// downcast [`Ficsum::recorder`] via [`Recorder::as_any`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `FicsumBuilder::recorder`; \
+                a built `Ficsum` is immutable-by-default"
+    )]
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.attach_recorder(recorder);
     }
 
     /// The attached recorder.
@@ -306,30 +336,33 @@ impl Ficsum {
     }
 
     /// Replaces the span-timing clock (default: a [`MonotonicClock`]
-    /// anchored at construction). Tests inject a
+    /// anchored at construction; see
+    /// [`crate::variant::FicsumBuilder::clock`]). Tests inject a
     /// [`ficsum_obs::ManualClock`] for bit-reproducible span records.
-    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+    pub(crate) fn attach_clock(&mut self, clock: Arc<dyn Clock>) {
         self.clock = clock;
         if self.recorder.enabled() {
             self.engine.set_clock(Some(Arc::clone(&self.clock)));
         }
     }
 
-    /// Single emission point for pipeline observations. The legacy accessor
-    /// state (`drift_points`, the similarity trace, `last_similarity`) is
-    /// maintained here as a *view over the same event stream* the recorder
-    /// receives, so the deprecated accessors and an attached recorder can
+    /// Deprecated post-build shim for builder-time configuration.
+    #[deprecated(
+        since = "0.4.0",
+        note = "configure at construction with `FicsumBuilder::clock`; \
+                a built `Ficsum` is immutable-by-default"
+    )]
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.attach_clock(clock);
+    }
+
+    /// Single emission point for pipeline observations. `last_similarity`
+    /// is maintained here as a *view over the same event stream* the
+    /// recorder receives, so the accessor and an attached recorder can
     /// never disagree.
     fn emit(&mut self, event: StreamEvent) {
-        match event {
-            StreamEvent::DriftDetected { .. } => self.drift_points.push(self.t),
-            StreamEvent::SimilarityObserved { value } => {
-                self.last_similarity = Some(value);
-                if let Some(trace) = &mut self.trace {
-                    trace.push((self.t, value));
-                }
-            }
-            _ => {}
+        if let StreamEvent::SimilarityObserved { value } = event {
+            self.last_similarity = Some(value);
         }
         self.recorder.event(self.t, event);
     }
@@ -371,16 +404,6 @@ impl Ficsum {
         &self.repo
     }
 
-    /// Observation indices at which drifts were detected.
-    #[deprecated(
-        since = "0.2.0",
-        note = "attach an `ficsum_obs::InMemoryRecorder` via `set_recorder` and read \
-                `InMemoryRecorder::drift_points()` (DriftDetected events) instead"
-    )]
-    pub fn drift_points(&self) -> &[u64] {
-        &self.drift_points
-    }
-
     /// Diagnostic counters.
     pub fn stats(&self) -> FicsumStats {
         self.stats
@@ -395,38 +418,6 @@ impl Ficsum {
     /// The most recent `Sim(F_c, F_A)` value fed to the drift detector.
     pub fn last_similarity(&self) -> Option<f64> {
         self.last_similarity
-    }
-
-    /// Starts recording every `(t, Sim(F_c, F_A))` pair fed to the detector
-    /// (diagnostics / plots).
-    #[deprecated(
-        since = "0.2.0",
-        note = "attach an `ficsum_obs::InMemoryRecorder` via `set_recorder`; it retains \
-                every SimilarityObserved event without opting in"
-    )]
-    pub fn enable_similarity_trace(&mut self) {
-        self.trace = Some(Vec::new());
-    }
-
-    /// The recorded similarity trace, if enabled.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read `ficsum_obs::InMemoryRecorder::similarity_trace()` \
-                (SimilarityObserved events) instead"
-    )]
-    pub fn similarity_trace(&self) -> Option<&[(u64, f64)]> {
-        self.trace.as_deref()
-    }
-
-    /// The recorded normal-similarity distribution `(mu_c, sigma_c, count)`
-    /// of the active concept.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the `ficsum.sim.mean` / `ficsum.sim.std_dev` / `ficsum.sim.count` \
-                gauges from an attached recorder instead"
-    )]
-    pub fn similarity_stats(&self) -> (f64, f64, u64) {
-        (self.active_sim.mean(), self.active_sim.std_dev(), self.active_sim.count())
     }
 
     /// Number of classes.
@@ -1271,9 +1262,11 @@ mod tests {
         // be bit-identical (drifts, selections, active concept ids).
         use ficsum_synth::{ConceptGenerator, LabelledConcept, UniformSampler};
         let build = |threads: usize| {
-            let mut f = FicsumBuilder::new(3, 2).config(quick_config()).build().unwrap();
-            f.set_parallelism(threads);
-            f
+            FicsumBuilder::new(3, 2)
+                .config(quick_config())
+                .parallelism(threads)
+                .build()
+                .unwrap()
         };
         let mut seq = build(1);
         let mut par = build(4);

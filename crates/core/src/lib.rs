@@ -26,6 +26,7 @@ pub mod fingerprint;
 pub mod framework;
 pub mod repository;
 pub mod similarity;
+pub mod template;
 pub mod variant;
 pub mod weights;
 
@@ -34,5 +35,6 @@ pub use fingerprint::{ConceptFingerprint, FingerprintNormalizer};
 pub use framework::{Ficsum, FicsumStats, StepOutcome};
 pub use repository::{ConceptEntry, ConceptId, Repository};
 pub use similarity::{cosine, fingerprint_similarity, weighted_cosine};
+pub use template::SessionTemplate;
 pub use variant::{FicsumBuilder, Variant};
 pub use weights::DynamicWeights;

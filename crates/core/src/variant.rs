@@ -61,6 +61,11 @@ impl Variant {
 }
 
 /// Builder for [`Ficsum`] instances.
+///
+/// Everything an instance can be configured with is a builder option; a
+/// built [`Ficsum`] is immutable-by-default (drive it with
+/// [`Ficsum::process`]). The former post-build setters survive as
+/// deprecated shims for one release.
 pub struct FicsumBuilder {
     n_features: usize,
     n_classes: usize,
@@ -69,6 +74,8 @@ pub struct FicsumBuilder {
     factory: Option<Box<dyn ClassifierFactory>>,
     recorder: Option<Box<dyn Recorder>>,
     clock: Option<Arc<dyn Clock>>,
+    parallelism: usize,
+    incremental_moments: bool,
 }
 
 impl FicsumBuilder {
@@ -82,6 +89,8 @@ impl FicsumBuilder {
             factory: None,
             recorder: None,
             clock: None,
+            parallelism: 1,
+            incremental_moments: false,
         }
     }
 
@@ -119,6 +128,26 @@ impl FicsumBuilder {
         self
     }
 
+    /// Number of worker threads the pipeline may use (default 1 =
+    /// sequential): the fingerprint engine fans behaviour sources across
+    /// them during extraction, and the recurrence scan at drift fans stored
+    /// concepts across them. Both parallel paths are bit-identical to
+    /// sequential, so this only changes wall-clock behaviour.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Lets the engine substitute the window's incremental moments for the
+    /// batch moment sweep (O(1) per observation, ≤ 1e-9 relative
+    /// difference). Off by default because drift trajectories are feedback
+    /// loops: bit-exactness keeps them reproducible against the reference
+    /// path.
+    pub fn incremental_moments(mut self, on: bool) -> Self {
+        self.incremental_moments = on;
+        self
+    }
+
     /// Builds the framework instance.
     ///
     /// Fails with a [`ConfigError`] if the hyper-parameters are invalid
@@ -136,12 +165,18 @@ impl FicsumBuilder {
             self.variant.extractor(self.n_features),
             factory,
         )?;
-        // Clock first: set_recorder snapshots it into the engine.
+        // Clock first: attaching a recorder snapshots it into the engine.
         if let Some(clock) = self.clock {
-            ficsum.set_clock(clock);
+            ficsum.attach_clock(clock);
         }
         if let Some(recorder) = self.recorder {
-            ficsum.set_recorder(recorder);
+            ficsum.attach_recorder(recorder);
+        }
+        if self.parallelism != 1 {
+            ficsum.configure_parallelism(self.parallelism);
+        }
+        if self.incremental_moments {
+            ficsum.configure_incremental_moments(true);
         }
         Ok(ficsum)
     }

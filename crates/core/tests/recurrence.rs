@@ -7,7 +7,7 @@ use ficsum_synth::{
 };
 
 fn quick() -> FicsumConfig {
-    FicsumConfig { window_size: 50, fingerprint_gap: 5, repository_gap: 50, ..Default::default() }
+    FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5).with_repository_gap(50)
 }
 
 fn stagger_gens(n: usize) -> Vec<Box<dyn ConceptGenerator>> {
@@ -82,7 +82,7 @@ fn unsupervised_variant_sees_pure_feature_drift() {
 
 #[test]
 fn disabling_second_check_is_respected() {
-    let config = FicsumConfig { second_check: false, ..quick() };
+    let config = quick().with_second_check(false);
     let mut system = FicsumBuilder::new(3, 2).config(config).build().unwrap();
     let mut gens = stagger_gens(3);
     for seg in 0..9 {

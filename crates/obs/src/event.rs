@@ -113,6 +113,28 @@ pub enum StreamEvent {
     /// Classifier-dependent fingerprint dimensions were reset after a
     /// significant classifier change (Section IV plasticity).
     PlasticityReset,
+    /// A serving shard created a new session from the config template.
+    SessionCreated {
+        /// Shard that owns the session.
+        shard: u64,
+        /// Identifier of the created session.
+        session: u64,
+    },
+    /// A serving shard evicted a session (LRU under a capacity cap, or an
+    /// explicit close); a snapshot of its repository/stats was taken.
+    SessionEvicted {
+        /// Shard that owned the session.
+        shard: u64,
+        /// Identifier of the evicted session.
+        session: u64,
+    },
+    /// A serving shard finished processing one submitted batch.
+    BatchProcessed {
+        /// Shard that processed the batch.
+        shard: u64,
+        /// Number of observations in the batch.
+        len: u64,
+    },
 }
 
 impl StreamEvent {
@@ -129,6 +151,9 @@ impl StreamEvent {
             StreamEvent::WeightsRecomputed { .. } => "weights_recomputed",
             StreamEvent::RepositoryEvicted { .. } => "repository_evicted",
             StreamEvent::PlasticityReset => "plasticity_reset",
+            StreamEvent::SessionCreated { .. } => "session_created",
+            StreamEvent::SessionEvicted { .. } => "session_evicted",
+            StreamEvent::BatchProcessed { .. } => "batch_processed",
         }
     }
 }
@@ -148,5 +173,12 @@ mod tests {
         let ev = StreamEvent::ConceptSwitch { from: 0, to: 1, similarity: Some(0.9) };
         assert_eq!(ev.name(), "concept_switch");
         assert_eq!(StreamEvent::DriftDetected { trigger: DriftTrigger::Detector }.name(), "drift_detected");
+    }
+
+    #[test]
+    fn serving_event_names_are_stable() {
+        assert_eq!(StreamEvent::SessionCreated { shard: 0, session: 1 }.name(), "session_created");
+        assert_eq!(StreamEvent::SessionEvicted { shard: 0, session: 1 }.name(), "session_evicted");
+        assert_eq!(StreamEvent::BatchProcessed { shard: 2, len: 64 }.name(), "batch_processed");
     }
 }

@@ -173,6 +173,25 @@ fn event_fields(t: u64, event: &StreamEvent, emit: &mut RecordSink<'_>) {
         StreamEvent::RepositoryEvicted { id } => {
             emit(&[kind, ts, name, ("id", JsonValue::Int(*id))]);
         }
+        StreamEvent::SessionCreated { shard, session }
+        | StreamEvent::SessionEvicted { shard, session } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("shard", JsonValue::Int(*shard)),
+                ("session", JsonValue::Int(*session)),
+            ]);
+        }
+        StreamEvent::BatchProcessed { shard, len } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("shard", JsonValue::Int(*shard)),
+                ("len", JsonValue::Int(*len)),
+            ]);
+        }
         StreamEvent::DetectorWarning | StreamEvent::PlasticityReset => {
             emit(&[kind, ts, name]);
         }

@@ -1,0 +1,50 @@
+//! Serving errors. All are returned eagerly from the submit path — once a
+//! batch is accepted it is guaranteed to be processed.
+
+use std::fmt;
+
+/// Why a submit was rejected.
+///
+/// `try_submit` never blocks: when a shard queue cannot take the whole
+/// batch the server refuses it instead of waiting, and the caller decides
+/// whether to retry, shed load, or spill. Rejection is all-or-nothing — a
+/// refused batch has enqueued **zero** of its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The named shard's queue lacks room for this batch's requests.
+    /// Back off and retry; the batch was not partially enqueued.
+    Overloaded {
+        /// Index of the shard whose queue was full.
+        shard: usize,
+    },
+    /// A request's feature vector does not match the template's
+    /// dimensionality.
+    DimensionMismatch {
+        /// Features per observation the server's template was built for.
+        expected: usize,
+        /// Features in the offending request.
+        got: usize,
+    },
+    /// The server has been shut down; no further batches are accepted.
+    ShutDown,
+    /// The batch contained no requests.
+    EmptyBatch,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { shard } => {
+                write!(f, "shard {shard} queue is full; retry after draining")
+            }
+            ServeError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} features per observation, got {got}")
+            }
+            ServeError::ShutDown => write!(f, "server has shut down"),
+            ServeError::EmptyBatch => write!(f, "batch contains no requests"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,193 @@
+//! Bounded per-shard request queues (std-only MPSC).
+//!
+//! One queue per shard, one consumer (the shard worker) per queue. The
+//! submit side is strictly non-blocking: capacity is checked under the
+//! queue lock and a full queue rejects the batch instead of waiting.
+//!
+//! A batch that spans several shards must be all-or-nothing — enqueueing
+//! half a batch and then failing would leave its [`BatchReply`] waiting on
+//! slots no worker will ever fill. [`try_submit_all`] therefore locks every
+//! involved queue (in ascending shard order, so concurrent submitters
+//! cannot deadlock), verifies capacity on all of them, and only then
+//! pushes.
+//!
+//! [`BatchReply`]: crate::BatchReply
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::error::ServeError;
+use crate::reply::BatchShared;
+use crate::session::SessionId;
+
+/// One enqueued observation, addressed to a session and a reply slot.
+pub(crate) struct Request {
+    pub(crate) session: SessionId,
+    pub(crate) features: Vec<f64>,
+    pub(crate) label: usize,
+    pub(crate) slot: usize,
+    pub(crate) batch: Arc<BatchShared>,
+    pub(crate) submitted_at: Instant,
+}
+
+pub(crate) struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+    /// Total requests ever accepted (for metrics).
+    enqueued: u64,
+    /// High-water mark of `items.len()` (for metrics).
+    max_depth: usize,
+}
+
+pub(crate) struct ShardQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                enqueued: 0,
+                max_depth: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks until requests are available and takes all of them, or
+    /// returns `None` once the queue is closed *and* drained. Draining
+    /// everything in one lock acquisition is what makes the worker's
+    /// per-batch bookkeeping cheap.
+    pub(crate) fn pop_all(&self) -> Option<VecDeque<Request>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.items.is_empty() {
+                return Some(std::mem::take(&mut state.items));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending requests will still be drained, further
+    /// submits are refused with [`ServeError::ShutDown`].
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current depth and lifetime counters, for metrics snapshots.
+    pub(crate) fn gauges(&self) -> (usize, u64, usize) {
+        let state = self.state.lock().expect("queue poisoned");
+        (state.items.len(), state.enqueued, state.max_depth)
+    }
+
+    /// Current queue depth (the worker reports this as a gauge).
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+}
+
+/// Atomically enqueues a batch grouped per shard: either every request in
+/// every group is accepted, or nothing is enqueued and the error names the
+/// first obstacle. `grouped` must be sorted by ascending shard index —
+/// [`std::collections::BTreeMap`] iteration order satisfies this — so that
+/// concurrent multi-shard submitters acquire locks in one global order.
+pub(crate) fn try_submit_all(
+    queues: &[Arc<ShardQueue>],
+    grouped: Vec<(usize, Vec<Request>)>,
+) -> Result<(), ServeError> {
+    debug_assert!(grouped.windows(2).all(|w| w[0].0 < w[1].0), "groups must ascend by shard");
+    let mut guards: Vec<MutexGuard<'_, QueueState>> = Vec::with_capacity(grouped.len());
+    for (shard, requests) in &grouped {
+        let state = queues[*shard].state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(ServeError::ShutDown);
+        }
+        if state.items.len() + requests.len() > queues[*shard].capacity {
+            return Err(ServeError::Overloaded { shard: *shard });
+        }
+        guards.push(state);
+    }
+    // Every involved queue has room; the pushes cannot fail.
+    let shards: Vec<usize> = grouped.iter().map(|(shard, _)| *shard).collect();
+    for (state, (_, requests)) in guards.iter_mut().zip(grouped) {
+        state.enqueued += requests.len() as u64;
+        for request in requests {
+            state.items.push_back(request);
+        }
+        state.max_depth = state.max_depth.max(state.items.len());
+    }
+    drop(guards);
+    for shard in shards {
+        queues[shard].ready.notify_one();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(slot: usize, batch: &Arc<BatchShared>) -> Request {
+        Request {
+            session: SessionId(slot as u64),
+            features: vec![0.0],
+            label: 0,
+            slot,
+            batch: batch.clone(),
+            submitted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn overload_is_all_or_nothing_across_shards() {
+        let queues = vec![Arc::new(ShardQueue::new(2)), Arc::new(ShardQueue::new(1))];
+        let batch = BatchShared::new(3);
+        // Shard 1 has capacity 1; asking it for 2 must refuse the whole
+        // submit, leaving shard 0 untouched as well.
+        let grouped = vec![
+            (0usize, vec![request(0, &batch)]),
+            (1usize, vec![request(1, &batch), request(2, &batch)]),
+        ];
+        assert_eq!(
+            try_submit_all(&queues, grouped),
+            Err(ServeError::Overloaded { shard: 1 })
+        );
+        assert_eq!(queues[0].depth(), 0, "no partial enqueue");
+        assert_eq!(queues[1].depth(), 0);
+        // A batch that fits everywhere goes through whole.
+        let ok = vec![
+            (0usize, vec![request(0, &batch)]),
+            (1usize, vec![request(1, &batch)]),
+        ];
+        assert_eq!(try_submit_all(&queues, ok), Ok(()));
+        assert_eq!(queues[0].depth(), 1);
+        assert_eq!(queues[1].depth(), 1);
+    }
+
+    #[test]
+    fn closed_queue_refuses_and_drains() {
+        let queue = Arc::new(ShardQueue::new(4));
+        let batch = BatchShared::new(1);
+        let queues = vec![queue.clone()];
+        try_submit_all(&queues, vec![(0, vec![request(0, &batch)])]).unwrap();
+        queue.close();
+        assert_eq!(
+            try_submit_all(&queues, vec![(0, vec![request(0, &batch)])]),
+            Err(ServeError::ShutDown)
+        );
+        // The request accepted before close is still delivered...
+        assert_eq!(queue.pop_all().map(|items| items.len()), Some(1));
+        // ...and only then does the consumer see end-of-stream.
+        assert!(queue.pop_all().is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-batch reply handles.
+//!
+//! Each accepted batch gets one [`BatchReply`]. A batch's requests may fan
+//! out across several shards; each worker fills the slots it owns (slot
+//! index = the request's position in the submitted batch), and the handle
+//! becomes ready when the last slot lands. This keeps replies ordered for
+//! the caller without any cross-shard coordination beyond a shared counter.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use ficsum_core::StepOutcome;
+
+pub(crate) struct BatchShared {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    slots: Vec<Option<StepOutcome>>,
+    pending: usize,
+}
+
+impl BatchShared {
+    pub(crate) fn new(len: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(BatchState { slots: vec![None; len], pending: len }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Called by a shard worker with the outcome for one request. Slots are
+    /// disjoint across workers, so filling never races on the same index.
+    pub(crate) fn fill(&self, slot: usize, outcome: StepOutcome) {
+        let mut state = self.state.lock().expect("batch state poisoned");
+        debug_assert!(state.slots[slot].is_none(), "slot {slot} filled twice");
+        state.slots[slot] = Some(outcome);
+        state.pending -= 1;
+        if state.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle to a batch accepted by [`crate::StreamServer::try_submit`].
+///
+/// The server guarantees every accepted request is processed (workers drain
+/// their queues even during shutdown), so [`BatchReply::wait`] always
+/// terminates once the batch has flowed through its shards.
+pub struct BatchReply {
+    shared: Arc<BatchShared>,
+    len: usize,
+}
+
+impl BatchReply {
+    pub(crate) fn new(shared: Arc<BatchShared>, len: usize) -> Self {
+        Self { shared, len }
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch contained no requests (never true for accepted
+    /// batches; submitting an empty batch is an error).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every request has been processed (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.shared.state.lock().expect("batch state poisoned").pending == 0
+    }
+
+    /// Blocks until every request in the batch has been processed and
+    /// returns the outcomes in submission order.
+    pub fn wait(self) -> Vec<StepOutcome> {
+        let mut state = self.shared.state.lock().expect("batch state poisoned");
+        while state.pending > 0 {
+            state = self.shared.done.wait(state).expect("batch state poisoned");
+        }
+        state
+            .slots
+            .iter_mut()
+            .map(|s| s.take().expect("completed batch has every slot filled"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for BatchReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchReply")
+            .field("len", &self.len)
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}

@@ -1,0 +1,372 @@
+//! The `StreamServer`: shard-partitioned, non-blocking, deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ficsum_core::SessionTemplate;
+use ficsum_obs::{LatencyHistogram, Recorder};
+
+use crate::error::ServeError;
+use crate::queue::{self, Request, ShardQueue};
+use crate::reply::{BatchReply, BatchShared};
+use crate::session::{SessionId, SessionSnapshot};
+use crate::shard::{self, ShardContext, ShardStats};
+
+/// Builds one recorder per shard, on the shard's own thread — recorders
+/// themselves need not be `Send`. Share a single sink across shards by
+/// closing over an `Arc<Mutex<R>>` (it implements [`Recorder`]).
+pub type RecorderFactory = Arc<dyn Fn(usize) -> Box<dyn Recorder> + Send + Sync>;
+
+/// Server shape: how many shards, how much queue, how many live sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Worker threads; sessions are hash-partitioned across them. Minimum 1.
+    pub shards: usize,
+    /// Per-shard queue capacity in *requests* (not batches). A batch whose
+    /// share of a shard would exceed this is refused with
+    /// [`ServeError::Overloaded`]. Minimum 1.
+    pub queue_capacity: usize,
+    /// Live pipelines a shard keeps before evicting least-recently-used
+    /// sessions (snapshotting them first). Minimum 1.
+    pub max_sessions_per_shard: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { shards: 4, queue_capacity: 1024, max_sessions_per_shard: 256 }
+    }
+}
+
+impl ServeConfig {
+    /// Returns the config with `shards` replaced.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with `queue_capacity` replaced.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, requests: usize) -> Self {
+        self.queue_capacity = requests;
+        self
+    }
+
+    /// Returns the config with `max_sessions_per_shard` replaced.
+    #[must_use]
+    pub fn with_max_sessions_per_shard(mut self, sessions: usize) -> Self {
+        self.max_sessions_per_shard = sessions;
+        self
+    }
+
+    fn normalized(self) -> Self {
+        Self {
+            shards: self.shards.max(1),
+            queue_capacity: self.queue_capacity.max(1),
+            max_sessions_per_shard: self.max_sessions_per_shard.max(1),
+        }
+    }
+}
+
+/// One observation addressed to one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submit {
+    /// Which stream this observation belongs to.
+    pub session_id: SessionId,
+    /// Feature vector; length must match the server template's
+    /// `n_features`.
+    pub features: Vec<f64>,
+    /// True label (FiCSUM is prequential: test-then-train).
+    pub label: usize,
+}
+
+impl Submit {
+    /// Convenience constructor.
+    pub fn new(session_id: SessionId, features: Vec<f64>, label: usize) -> Self {
+        Self { session_id, features, label }
+    }
+}
+
+/// Point-in-time view of one shard's health.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests accepted into the queue over the server's lifetime.
+    pub enqueued: u64,
+    /// Requests processed and replied to.
+    pub processed: u64,
+    /// Queue drains (≥ 1 request each) the worker has performed.
+    pub batches: u64,
+    /// Sessions instantiated from the template.
+    pub sessions_created: u64,
+    /// Sessions evicted by the LRU capacity cap (shutdown snapshots are
+    /// not counted here).
+    pub sessions_evicted: u64,
+    /// Pipelines currently live.
+    pub live_sessions: usize,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: usize,
+    /// Submit→reply latency distribution (log-bucketed nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+/// Everything a server hands back at shutdown.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ServeReport {
+    /// Snapshots of all sessions: capacity evictions during the run plus
+    /// every session still live at shutdown.
+    pub snapshots: Vec<SessionSnapshot>,
+    /// Final per-shard metrics.
+    pub metrics: Vec<ShardMetrics>,
+}
+
+/// Serves many concurrent FiCSUM sessions over a fixed pool of shard
+/// workers.
+///
+/// * **Partitioning** — each [`SessionId`] maps to one shard by a fixed
+///   hash; all of a session's requests are processed by that shard's single
+///   thread in submission order, so every session behaves bit-identically
+///   to a standalone pipeline built from the same template.
+/// * **Backpressure** — [`StreamServer::try_submit`] never blocks. If any
+///   involved shard queue lacks room for the batch, the whole batch is
+///   refused ([`ServeError::Overloaded`]) and nothing is enqueued.
+/// * **Lifecycle** — sessions are created on first sight from the shared
+///   template and evicted LRU at the per-shard cap; evicted and
+///   shutdown-surviving sessions leave a [`SessionSnapshot`].
+pub struct StreamServer {
+    template: SessionTemplate,
+    config: ServeConfig,
+    queues: Vec<Arc<ShardQueue>>,
+    stats: Vec<Arc<Mutex<ShardStats>>>,
+    snapshots: Arc<Mutex<Vec<SessionSnapshot>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StreamServer {
+    /// Starts `config.shards` workers serving sessions stamped from
+    /// `template`, with no observability attached.
+    pub fn new(template: SessionTemplate, config: ServeConfig) -> Self {
+        Self::with_recorder_factory(template, config, None)
+    }
+
+    /// Like [`StreamServer::new`], with a per-shard recorder. The factory
+    /// runs on each worker thread at startup; see [`RecorderFactory`].
+    pub fn with_recorder_factory(
+        template: SessionTemplate,
+        config: ServeConfig,
+        recorder_factory: Option<RecorderFactory>,
+    ) -> Self {
+        let config = config.normalized();
+        let queues: Vec<Arc<ShardQueue>> =
+            (0..config.shards).map(|_| Arc::new(ShardQueue::new(config.queue_capacity))).collect();
+        let stats: Vec<Arc<Mutex<ShardStats>>> =
+            (0..config.shards).map(|_| Arc::new(Mutex::new(ShardStats::new()))).collect();
+        let snapshots = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let ctx = ShardContext {
+                    shard,
+                    queue: queues[shard].clone(),
+                    template: template.clone(),
+                    max_sessions: config.max_sessions_per_shard,
+                    stats: stats[shard].clone(),
+                    snapshots: snapshots.clone(),
+                };
+                let factory = recorder_factory.clone();
+                std::thread::Builder::new()
+                    .name(format!("ficsum-serve-{shard}"))
+                    .spawn(move || {
+                        let recorder = factory.map(|make| make(shard));
+                        shard::run(ctx, recorder);
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self { template, config, queues, stats, snapshots, workers }
+    }
+
+    /// The template sessions are stamped from.
+    pub fn template(&self) -> &SessionTemplate {
+        &self.template
+    }
+
+    /// The (normalized) shape this server runs with.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// The shard that owns `session`. Stable for the server's lifetime and
+    /// across servers with the same shard count.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        (splitmix64(session.0) % self.config.shards as u64) as usize
+    }
+
+    /// Submits a batch of observations without blocking.
+    ///
+    /// On success every request is guaranteed to be processed; await the
+    /// outcomes (in submission order) through the returned [`BatchReply`].
+    /// On error **nothing** was enqueued: the caller still owns the batch
+    /// and can retry it verbatim after backing off.
+    pub fn try_submit(&self, batch: &[Submit]) -> Result<BatchReply, ServeError> {
+        if batch.is_empty() {
+            return Err(ServeError::EmptyBatch);
+        }
+        let expected = self.template.n_features();
+        for submit in batch {
+            if submit.features.len() != expected {
+                return Err(ServeError::DimensionMismatch {
+                    expected,
+                    got: submit.features.len(),
+                });
+            }
+        }
+        let shared = BatchShared::new(batch.len());
+        let now = Instant::now();
+        let mut grouped: BTreeMap<usize, Vec<Request>> = BTreeMap::new();
+        for (slot, submit) in batch.iter().enumerate() {
+            grouped.entry(self.shard_of(submit.session_id)).or_default().push(Request {
+                session: submit.session_id,
+                features: submit.features.clone(),
+                label: submit.label,
+                slot,
+                batch: shared.clone(),
+                submitted_at: now,
+            });
+        }
+        queue::try_submit_all(&self.queues, grouped.into_iter().collect())?;
+        Ok(BatchReply::new(shared, batch.len()))
+    }
+
+    /// Current per-shard metrics (queue gauges + worker counters).
+    pub fn metrics(&self) -> Vec<ShardMetrics> {
+        (0..self.config.shards)
+            .map(|shard| {
+                let (queue_depth, enqueued, max_queue_depth) = self.queues[shard].gauges();
+                let stats = self.stats[shard].lock().expect("shard stats poisoned");
+                ShardMetrics {
+                    shard,
+                    enqueued,
+                    processed: stats.processed,
+                    batches: stats.batches,
+                    sessions_created: stats.sessions_created,
+                    sessions_evicted: stats.sessions_evicted,
+                    live_sessions: stats.live_sessions,
+                    queue_depth,
+                    max_queue_depth,
+                    latency: stats.latency.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Takes the snapshots accumulated so far (capacity evictions). More
+    /// may arrive while the server runs; [`StreamServer::shutdown`] returns
+    /// the complete set.
+    pub fn drain_snapshots(&self) -> Vec<SessionSnapshot> {
+        std::mem::take(&mut *self.snapshots.lock().expect("snapshot store poisoned"))
+    }
+
+    /// Stops accepting work, drains every queue (accepted batches are still
+    /// processed and replied to), snapshots all surviving sessions, and
+    /// returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.close_and_join();
+        let snapshots =
+            std::mem::take(&mut *self.snapshots.lock().expect("snapshot store poisoned"));
+        let metrics = self.metrics();
+        ServeReport { snapshots, metrics }
+    }
+
+    fn close_and_join(&mut self) {
+        for queue in &self.queues {
+            queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            // A panicked worker already poisoned its state; nothing useful
+            // to do here beyond not compounding the panic.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for StreamServer {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// SplitMix64 finalizer: a fixed, well-mixed session→shard hash so the
+/// partition is stable across runs (tests rely on this) without `std`'s
+/// per-process-randomized hasher.
+fn splitmix64(value: u64) -> u64 {
+    let mut x = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_core::{FicsumConfig, Variant};
+
+    fn template() -> SessionTemplate {
+        SessionTemplate::new(2, 2, FicsumConfig::default(), Variant::ErrorRate).unwrap()
+    }
+
+    #[test]
+    fn serves_batches_across_sessions_and_returns_in_order() {
+        let server = StreamServer::new(template(), ServeConfig::default().with_shards(2));
+        let batch: Vec<Submit> = (0..32)
+            .map(|i| Submit::new(SessionId(i % 4), vec![0.3, 0.7], (i % 2) as usize))
+            .collect();
+        let outcomes = server.try_submit(&batch).expect("queues are empty").wait();
+        assert_eq!(outcomes.len(), 32);
+        let report = server.shutdown();
+        assert_eq!(report.snapshots.len(), 4, "all four sessions snapshotted");
+        assert_eq!(report.snapshots.iter().map(|s| s.steps).sum::<u64>(), 32);
+        let processed: u64 = report.metrics.iter().map(|m| m.processed).sum();
+        assert_eq!(processed, 32);
+        assert_eq!(report.metrics.iter().map(|m| m.latency.count()).sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_before_enqueue() {
+        let server = StreamServer::new(template(), ServeConfig::default().with_shards(1));
+        let bad = [Submit::new(SessionId(0), vec![1.0, 2.0, 3.0], 0)];
+        assert_eq!(
+            server.try_submit(&bad).map(|_| ()),
+            Err(ServeError::DimensionMismatch { expected: 2, got: 3 })
+        );
+        assert_eq!(server.try_submit(&[]).map(|_| ()), Err(ServeError::EmptyBatch));
+        assert_eq!(server.metrics()[0].enqueued, 0);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let server = StreamServer::new(template(), ServeConfig::default().with_shards(1));
+        let queues = server.queues.clone();
+        drop(server);
+        assert!(queues[0].pop_all().is_none(), "queue closed by drop");
+    }
+
+    #[test]
+    fn shard_partition_is_stable_and_total() {
+        let server = StreamServer::new(template(), ServeConfig::default().with_shards(3));
+        let mut seen = [0usize; 3];
+        for id in 0..300u64 {
+            let shard = server.shard_of(SessionId(id));
+            assert_eq!(shard, server.shard_of(SessionId(id)), "stable");
+            seen[shard] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 50), "roughly balanced: {seen:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Session identity, lifecycle, and eviction snapshots.
+//!
+//! Each shard worker owns a [`SessionTable`]: session id → live [`Ficsum`]
+//! pipeline. Sessions are created lazily from the server's shared
+//! [`ficsum_core::SessionTemplate`] on first sight and evicted
+//! least-recently-used when the shard's capacity cap is reached. Eviction
+//! is destructive for the pipeline (classifiers are not serialisable), so
+//! the table captures a [`SessionSnapshot`] of the learned state's summary
+//! — step count, counters, repository contents — before dropping it.
+
+use std::collections::HashMap;
+
+use ficsum_core::{ConceptId, Ficsum, FicsumStats, SessionTemplate, StepOutcome};
+
+/// Identifies one logical stream (one pipeline) within a server.
+///
+/// Ids are chosen by the caller; the server maps them to shards with a
+/// fixed hash, so a session's requests always reach the same worker — the
+/// ordering and determinism guarantee hangs off that stickiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// Why a snapshot was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The shard hit its session cap and this was the least recently used.
+    Capacity,
+    /// The server shut down with the session still live.
+    Shutdown,
+}
+
+/// Summary of a session's learned state, captured when its pipeline is
+/// dropped.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SessionSnapshot {
+    /// The evicted session.
+    pub session: SessionId,
+    /// Observations this session processed.
+    pub steps: u64,
+    /// The pipeline's lifetime counters.
+    pub stats: FicsumStats,
+    /// Concept active at eviction time.
+    pub active_concept: ConceptId,
+    /// Ids stored in the concept repository, ascending.
+    pub stored_concepts: Vec<ConceptId>,
+    /// What triggered the snapshot.
+    pub reason: EvictReason,
+}
+
+struct Entry {
+    pipeline: Ficsum,
+    steps: u64,
+    last_used: u64,
+}
+
+fn snapshot(session: SessionId, entry: &Entry, reason: EvictReason) -> SessionSnapshot {
+    let mut stored: Vec<ConceptId> = entry.pipeline.repository().iter().map(|e| e.id).collect();
+    stored.sort_unstable();
+    SessionSnapshot {
+        session,
+        steps: entry.steps,
+        stats: entry.pipeline.stats(),
+        active_concept: entry.pipeline.active_concept(),
+        stored_concepts: stored,
+        reason,
+    }
+}
+
+/// The per-shard map of live sessions with LRU eviction.
+pub(crate) struct SessionTable {
+    sessions: HashMap<SessionId, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+/// What touching a session did to the table.
+pub(crate) struct Touched {
+    pub(crate) created: bool,
+    pub(crate) evicted: Option<SessionSnapshot>,
+}
+
+impl SessionTable {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self { sessions: HashMap::new(), capacity: capacity.max(1), tick: 0 }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Ensures `session` is live, creating it from `template` (and evicting
+    /// the least-recently-used session first if the shard is at capacity).
+    /// The LRU search is a linear scan — caps are small (hundreds) and
+    /// eviction is rare relative to processing, so an ordered index isn't
+    /// worth its bookkeeping on the hot path.
+    pub(crate) fn touch(&mut self, session: SessionId, template: &SessionTemplate) -> Touched {
+        self.tick += 1;
+        if let Some(entry) = self.sessions.get_mut(&session) {
+            entry.last_used = self.tick;
+            return Touched { created: false, evicted: None };
+        }
+        let evicted = if self.sessions.len() >= self.capacity {
+            let lru = self
+                .sessions
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(id, _)| *id)
+                .expect("table at capacity is non-empty");
+            let entry = self.sessions.remove(&lru).expect("lru key came from the map");
+            Some(snapshot(lru, &entry, EvictReason::Capacity))
+        } else {
+            None
+        };
+        self.sessions.insert(
+            session,
+            Entry { pipeline: template.instantiate(), steps: 0, last_used: self.tick },
+        );
+        Touched { created: true, evicted }
+    }
+
+    /// Feeds one observation to a live session. Callers must `touch` first.
+    pub(crate) fn process(
+        &mut self,
+        session: SessionId,
+        features: &[f64],
+        label: usize,
+    ) -> StepOutcome {
+        let entry = self.sessions.get_mut(&session).expect("session touched before process");
+        entry.steps += 1;
+        entry.pipeline.process(features, label)
+    }
+
+    /// Snapshots and drops every live session (shutdown path), ascending by
+    /// session id so reports are stable.
+    pub(crate) fn drain_all(&mut self) -> Vec<SessionSnapshot> {
+        let mut out: Vec<SessionSnapshot> = self
+            .sessions
+            .drain()
+            .map(|(id, entry)| snapshot(id, &entry, EvictReason::Shutdown))
+            .collect();
+        out.sort_by_key(|snap| snap.session);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ficsum_core::{FicsumConfig, Variant};
+
+    fn template() -> SessionTemplate {
+        SessionTemplate::new(2, 2, FicsumConfig::default(), Variant::ErrorRate).unwrap()
+    }
+
+    #[test]
+    fn lru_eviction_snapshots_the_coldest_session() {
+        let template = template();
+        let mut table = SessionTable::new(2);
+        assert!(table.touch(SessionId(1), &template).created);
+        table.process(SessionId(1), &[0.1, 0.2], 0);
+        assert!(table.touch(SessionId(2), &template).created);
+        table.process(SessionId(2), &[0.1, 0.2], 1);
+        // Re-touch 1 so 2 becomes the LRU.
+        assert!(!table.touch(SessionId(1), &template).created);
+        let touched = table.touch(SessionId(3), &template);
+        assert!(touched.created);
+        let snap = touched.evicted.expect("capacity 2 must evict");
+        assert_eq!(snap.session, SessionId(2));
+        assert_eq!(snap.steps, 1);
+        assert_eq!(snap.reason, EvictReason::Capacity);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn drain_reports_all_sessions_in_id_order() {
+        let template = template();
+        let mut table = SessionTable::new(8);
+        for id in [5u64, 1, 3] {
+            table.touch(SessionId(id), &template);
+            table.process(SessionId(id), &[0.0, 1.0], 0);
+        }
+        let snaps = table.drain_all();
+        let ids: Vec<u64> = snaps.iter().map(|s| s.session.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert!(snaps.iter().all(|s| s.reason == EvictReason::Shutdown && s.steps == 1));
+        assert_eq!(table.len(), 0);
+    }
+}

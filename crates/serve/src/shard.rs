@@ -1,0 +1,127 @@
+//! The shard worker loop.
+//!
+//! One thread per shard, owning that shard's sessions outright. The worker
+//! is the only consumer of its queue, so requests for a given session are
+//! processed in exactly their submission order — this is what lets the
+//! parity suite pin served outcomes bit-exact against a single-threaded
+//! reference run. Pipelines are built *on this thread* from the shared
+//! `SessionTemplate`; nothing non-`Send` ever crosses the channel.
+
+use std::sync::{Arc, Mutex};
+
+use ficsum_core::SessionTemplate;
+use ficsum_obs::{LatencyHistogram, Recorder, StreamEvent};
+
+use crate::queue::ShardQueue;
+use crate::session::{SessionSnapshot, SessionTable};
+
+/// Counters a worker maintains about itself; the server merges these with
+/// queue-side gauges into the public `ShardMetrics`.
+pub(crate) struct ShardStats {
+    pub(crate) processed: u64,
+    pub(crate) batches: u64,
+    pub(crate) sessions_created: u64,
+    pub(crate) sessions_evicted: u64,
+    pub(crate) live_sessions: usize,
+    /// Submit→reply latency per request, log-bucketed.
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ShardStats {
+    pub(crate) fn new() -> Self {
+        Self {
+            processed: 0,
+            batches: 0,
+            sessions_created: 0,
+            sessions_evicted: 0,
+            live_sessions: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+}
+
+pub(crate) struct ShardContext {
+    pub(crate) shard: usize,
+    pub(crate) queue: Arc<ShardQueue>,
+    pub(crate) template: SessionTemplate,
+    pub(crate) max_sessions: usize,
+    pub(crate) stats: Arc<Mutex<ShardStats>>,
+    pub(crate) snapshots: Arc<Mutex<Vec<SessionSnapshot>>>,
+}
+
+/// Runs a shard to completion: drains the queue until it is closed *and*
+/// empty, then snapshots every surviving session. `recorder` is built on
+/// this thread (recorders need not be `Send`); pass `None` to serve dark.
+pub(crate) fn run(ctx: ShardContext, mut recorder: Option<Box<dyn Recorder>>) {
+    let shard = ctx.shard as u64;
+    let mut table = SessionTable::new(ctx.max_sessions);
+    let depth_gauge = format!("serve.shard{}.queue_depth", ctx.shard);
+    let sessions_gauge = format!("serve.shard{}.live_sessions", ctx.shard);
+    // Event index: requests this shard has processed, so each shard's event
+    // stream is internally ordered just like a pipeline's observation index.
+    let mut t: u64 = 0;
+    while let Some(requests) = ctx.queue.pop_all() {
+        let len = requests.len() as u64;
+        let mut created = 0u64;
+        let mut evicted = 0u64;
+        let mut latencies: Vec<u64> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let touched = table.touch(request.session, &ctx.template);
+            if let Some(snapshot) = touched.evicted {
+                evicted += 1;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.event(
+                        t,
+                        StreamEvent::SessionEvicted { shard, session: snapshot.session.0 },
+                    );
+                }
+                ctx.snapshots.lock().expect("snapshot store poisoned").push(snapshot);
+            }
+            if touched.created {
+                created += 1;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.event(t, StreamEvent::SessionCreated { shard, session: request.session.0 });
+                }
+            }
+            let outcome = table.process(request.session, &request.features, request.label);
+            latencies.push(request.submitted_at.elapsed().as_nanos() as u64);
+            request.batch.fill(request.slot, outcome);
+            t += 1;
+        }
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.event(t, StreamEvent::BatchProcessed { shard, len });
+            rec.counter("serve.requests", len);
+            if created > 0 {
+                rec.counter("serve.sessions_created", created);
+            }
+            if evicted > 0 {
+                rec.counter("serve.sessions_evicted", evicted);
+            }
+            if rec.enabled() {
+                rec.gauge(&depth_gauge, ctx.queue.depth() as f64);
+                rec.gauge(&sessions_gauge, table.len() as f64);
+            }
+        }
+        let mut stats = ctx.stats.lock().expect("shard stats poisoned");
+        stats.processed += len;
+        stats.batches += 1;
+        stats.sessions_created += created;
+        stats.sessions_evicted += evicted;
+        stats.live_sessions = table.len();
+        for nanos in latencies {
+            stats.latency.record(nanos);
+        }
+    }
+    // Shutdown: every queue item has been replied to; capture what the
+    // surviving sessions learned before their pipelines are dropped.
+    let survivors = table.drain_all();
+    if let Some(rec) = recorder.as_deref_mut() {
+        for snapshot in &survivors {
+            rec.event(t, StreamEvent::SessionEvicted { shard, session: snapshot.session.0 });
+        }
+    }
+    let mut stats = ctx.stats.lock().expect("shard stats poisoned");
+    stats.live_sessions = 0;
+    drop(stats);
+    ctx.snapshots.lock().expect("snapshot store poisoned").extend(survivors);
+}

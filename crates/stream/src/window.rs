@@ -72,16 +72,6 @@ impl SlidingWindow {
         &self.items[i]
     }
 
-    /// Copies the contents oldest-to-newest into a vector.
-    #[deprecated(
-        since = "0.3.0",
-        note = "allocates one vector plus one feature row per observation; \
-                iterate with `iter()`/`get()` or use a frame view instead"
-    )]
-    pub fn to_vec(&self) -> Vec<LabeledObservation> {
-        self.items.iter().cloned().collect()
-    }
-
     /// Drops all contents, keeping the capacity.
     pub fn clear(&mut self) {
         self.items.clear();
@@ -206,17 +196,6 @@ impl TrackedWindow {
     /// The `i`-th observation, oldest first. O(1).
     pub fn get(&self, i: usize) -> &LabeledObservation {
         self.window.get(i)
-    }
-
-    /// Copies the contents oldest-to-newest into a vector.
-    #[deprecated(
-        since = "0.3.0",
-        note = "allocates one vector plus one feature row per observation; \
-                iterate with `iter()`/`get()` or use a frame view instead"
-    )]
-    pub fn to_vec(&self) -> Vec<LabeledObservation> {
-        #[allow(deprecated)]
-        self.window.to_vec()
     }
 
     /// The underlying plain window.

@@ -45,6 +45,7 @@
 //! | [`baselines`] | `ficsum-baselines` | HTCD, RCD, DWM/ARF adapters |
 //! | [`eval`] | `ficsum-eval` | kappa, C-F1, Friedman/Nemenyi, the runner |
 //! | [`obs`] | `ficsum-obs` | recorders, stream events, stage spans, JSONL sinks |
+//! | [`serve`] | `ficsum-serve` | sharded multi-session serving, bounded queues, LRU eviction |
 
 pub use ficsum_baselines as baselines;
 pub use ficsum_classifiers as classifiers;
@@ -53,6 +54,7 @@ pub use ficsum_drift as drift;
 pub use ficsum_eval as eval;
 pub use ficsum_meta as meta;
 pub use ficsum_obs as obs;
+pub use ficsum_serve as serve;
 pub use ficsum_stream as stream;
 pub use ficsum_synth as synth;
 
@@ -68,7 +70,8 @@ pub mod prelude {
         AdaptiveRandomForest, Classifier, ClassifierFactory, GaussianNaiveBayes, HoeffdingTree,
     };
     pub use ficsum_core::{
-        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, FicsumStats, StepOutcome, Variant,
+        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, FicsumStats, SessionTemplate,
+        StepOutcome, Variant,
     };
     pub use ficsum_drift::{
         Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
@@ -86,6 +89,10 @@ pub mod prelude {
     pub use ficsum_obs::{
         shared, Clock, DriftTrigger, InMemoryRecorder, JsonlSink, LatencyHistogram, ManualClock,
         MonotonicClock, NullRecorder, Recorder, SharedRecorder, Stage, StreamEvent,
+    };
+    pub use ficsum_serve::{
+        BatchReply, EvictReason, ServeConfig, ServeError, ServeReport, SessionId,
+        SessionSnapshot, ShardMetrics, StreamServer, Submit,
     };
     pub use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
     pub use ficsum_stream::{

@@ -64,22 +64,22 @@ fn every_dataset_runs_through_full_ficsum_briefly() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the legacy accessor until its removal
 fn drift_points_are_monotonic_and_counted() {
+    let keep = shared(InMemoryRecorder::new());
     let mut stream = dataset_by_name("STAGGER", 5).unwrap();
-    let mut system = FicsumBuilder::new(3, 2).build().unwrap();
+    let mut system = FicsumBuilder::new(3, 2).recorder(Box::new(keep.clone())).build().unwrap();
     for _ in 0..12_000 {
         let Some(o) = stream.next_observation() else { break };
         system.process(&o.features, o.label);
     }
-    let points = system.drift_points();
+    let points = keep.borrow().drift_points();
     assert_eq!(points.len() as u64, system.stats().n_drifts);
     assert!(points.windows(2).all(|w| w[0] < w[1]), "drift points sorted");
 }
 
 #[test]
 fn repository_respects_capacity_bound() {
-    let config = FicsumConfig { max_repository: 3, ..FicsumConfig::default() };
+    let config = FicsumConfig::default().with_max_repository(3);
     let mut stream = dataset_by_name("STAGGER", 9).unwrap();
     let mut system = FicsumBuilder::new(3, 2).config(config).build().unwrap();
     for _ in 0..15_000 {
@@ -90,16 +90,32 @@ fn repository_respects_capacity_bound() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the legacy accessor until its removal
 fn similarity_trace_records_bounded_values() {
+    let keep = shared(InMemoryRecorder::new());
     let mut stream = dataset_by_name("RBF", 2).unwrap();
-    let mut system = FicsumBuilder::new(10, 3).build().unwrap();
-    system.enable_similarity_trace();
+    let mut system = FicsumBuilder::new(10, 3).recorder(Box::new(keep.clone())).build().unwrap();
     for _ in 0..4_000 {
         let Some(o) = stream.next_observation() else { break };
         system.process(&o.features, o.label);
     }
-    let trace = system.similarity_trace().expect("trace enabled");
+    let trace = keep.borrow().similarity_trace();
     assert!(!trace.is_empty());
     assert!(trace.iter().all(|(_, s)| (-1.0..=1.0).contains(s)));
+}
+
+#[test]
+fn served_sessions_match_prelude_types() {
+    // The serve subsystem is reachable entirely through the prelude.
+    let template = SessionTemplate::new(3, 2, FicsumConfig::default(), Variant::Full).unwrap();
+    let server = StreamServer::new(template, ServeConfig::default().with_shards(2));
+    let mut stream = dataset_by_name("STAGGER", 4).unwrap();
+    let mut batch = Vec::new();
+    for i in 0..64u64 {
+        let o = stream.next_observation().unwrap();
+        batch.push(Submit::new(SessionId(i % 8), o.features.clone(), o.label));
+    }
+    let outcomes = server.try_submit(&batch).expect("empty server accepts").wait();
+    assert_eq!(outcomes.len(), 64);
+    let report: ServeReport = server.shutdown();
+    assert_eq!(report.snapshots.len(), 8);
 }

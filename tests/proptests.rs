@@ -270,6 +270,37 @@ fn sliding_window_never_exceeds_capacity() {
 }
 
 #[test]
+fn template_sessions_replay_bit_identical_to_fresh_builds() {
+    use ficsum::core::{FicsumConfig, SessionTemplate, Variant};
+    // One validated template must stamp pipelines indistinguishable from a
+    // freshly built one under any bounded input stream: the serving layer's
+    // determinism contract reduced to its core. Fewer cases than the
+    // numeric properties — each case drives two full pipelines 1k steps.
+    for case in 0..8u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x7E3A_1000 + case);
+        let config = FicsumConfig::default()
+            .with_window_size(rng.random_range(30..80usize))
+            .with_fingerprint_gap(rng.random_range(3..10usize))
+            .with_repository_gap(rng.random_range(40..90usize));
+        let template = SessionTemplate::new(3, 2, config, Variant::Full)
+            .expect("sampled configs are within validated ranges");
+        let mut from_template = template.instantiate();
+        let mut fresh = ficsum::core::FicsumBuilder::new(3, 2)
+            .config(config)
+            .build()
+            .expect("template accepted this config");
+        for step in 0..1_000usize {
+            let x: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = rng.random_range(0..2usize);
+            let a = from_template.process(&x, y);
+            let b = fresh.process(&x, y);
+            assert_eq!(a, b, "case {case} diverged at step {step}");
+        }
+        assert_eq!(from_template.stats(), fresh.stats(), "case {case} stats diverged");
+    }
+}
+
+#[test]
 fn concept_fingerprint_mean_is_bounded_by_inputs() {
     for_cases("concept_fingerprint_mean_is_bounded_by_inputs", |rng| {
         let rows = rng.random_range(1..50usize);

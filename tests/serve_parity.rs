@@ -1,0 +1,166 @@
+//! The serving subsystem's headline guarantee: a session served through a
+//! sharded `StreamServer` produces **bit-identical** `StepOutcome`s to a
+//! standalone pipeline stamped from the same template — concurrency changes
+//! wall-clock behaviour only, never results. Plus the backpressure and
+//! lifecycle contracts: `try_submit` is all-or-nothing and non-blocking,
+//! and evicted sessions leave snapshots.
+
+use std::sync::{Arc, Mutex};
+
+use ficsum::prelude::*;
+
+const SESSIONS: usize = 16;
+const SHARDS: usize = 4;
+const STEPS: usize = 1_200;
+
+/// Per-session observation tapes: distinct STAGGER seeds so sessions drift
+/// at different points and exercise independent repositories.
+fn tapes() -> Vec<Vec<(Vec<f64>, usize)>> {
+    (0..SESSIONS)
+        .map(|s| {
+            let mut stream = ficsum::synth::dataset_by_name("STAGGER", 100 + s as u64).unwrap();
+            (0..STEPS)
+                .map(|_| {
+                    let o = stream.next_observation().expect("synthetic streams are infinite");
+                    (o.features.clone(), o.label)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn template() -> SessionTemplate {
+    let config = FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5);
+    SessionTemplate::new(3, 2, config, Variant::Full).unwrap()
+}
+
+#[test]
+fn served_outcomes_are_bit_identical_to_sequential_reference() {
+    let tapes = tapes();
+    let template = template();
+    let recorder = Arc::new(Mutex::new(InMemoryRecorder::new()));
+    let rec_handle = recorder.clone();
+    let server = StreamServer::with_recorder_factory(
+        template.clone(),
+        ServeConfig::default()
+            .with_shards(SHARDS)
+            // Room for every request of the run: lets the test enqueue all
+            // waves without waiting, maximising cross-session interleaving.
+            .with_queue_capacity(SESSIONS * STEPS),
+        Some(Arc::new(move |_shard| Box::new(rec_handle.clone()) as Box<dyn Recorder>)),
+    );
+
+    // Submit wave-by-wave (one observation per session per wave) without
+    // awaiting replies, so shards interleave sessions as they please.
+    let mut replies = Vec::with_capacity(STEPS);
+    let mut cursors: Vec<_> = tapes.iter().map(|tape| tape.iter()).collect();
+    for _ in 0..STEPS {
+        let wave: Vec<Submit> = cursors
+            .iter_mut()
+            .enumerate()
+            .map(|(s, tape)| {
+                let (features, label) = tape.next().expect("tapes hold STEPS entries");
+                Submit::new(SessionId(s as u64), features.clone(), *label)
+            })
+            .collect();
+        replies.push(server.try_submit(&wave).expect("queues sized for the whole run"));
+    }
+    let mut served: Vec<Vec<StepOutcome>> =
+        (0..SESSIONS).map(|_| Vec::with_capacity(STEPS)).collect();
+    for reply in replies {
+        for (s, outcome) in reply.wait().into_iter().enumerate() {
+            served[s].push(outcome);
+        }
+    }
+
+    // Reference: each session standalone, same template, same tape.
+    for s in 0..SESSIONS {
+        let mut reference = template.instantiate();
+        for (step, (features, label)) in tapes[s].iter().enumerate() {
+            let expected = reference.process(features, *label);
+            assert_eq!(
+                served[s][step], expected,
+                "session {s} diverged from the sequential reference at step {step}"
+            );
+        }
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.snapshots.len(), SESSIONS, "every session snapshotted at shutdown");
+    assert!(report.snapshots.iter().all(|snap| snap.steps == STEPS as u64));
+    let processed: u64 = report.metrics.iter().map(|m| m.processed).sum();
+    assert_eq!(processed, (SESSIONS * STEPS) as u64);
+    assert!(
+        report.metrics.iter().all(|m| m.processed > 0),
+        "all {SHARDS} shards participated: {report:?}"
+    );
+    // The recorder saw the whole run: per-shard counters sum to the total,
+    // and each session announced its creation exactly once.
+    let rec = recorder.lock().unwrap();
+    assert_eq!(rec.counter_value("serve.requests"), (SESSIONS * STEPS) as u64);
+    assert_eq!(rec.event_count("session_created"), SESSIONS);
+    let latency_total: u64 = report.metrics.iter().map(|m| m.latency.count()).sum();
+    assert_eq!(latency_total, (SESSIONS * STEPS) as u64);
+}
+
+#[test]
+fn overloaded_submit_rejects_whole_batch_and_leaves_nothing_behind() {
+    let server = StreamServer::new(
+        template(),
+        ServeConfig::default().with_shards(1).with_queue_capacity(8),
+    );
+    // A batch larger than the queue can ever hold is refused regardless of
+    // how fast the worker drains — deterministic backpressure coverage.
+    let oversized: Vec<Submit> =
+        (0..9).map(|i| Submit::new(SessionId(i % 3), vec![0.2, 0.4, 0.6], 0)).collect();
+    match server.try_submit(&oversized) {
+        Err(ServeError::Overloaded { shard }) => assert_eq!(shard, 0),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics[0].enqueued, 0, "rejection must not enqueue anything");
+    // The refused batch is retryable verbatim once sized within capacity.
+    let within: Vec<Submit> = oversized[..8].to_vec();
+    let outcomes = server.try_submit(&within).expect("8 requests fit capacity 8").wait();
+    assert_eq!(outcomes.len(), 8);
+    let report = server.shutdown();
+    assert_eq!(report.metrics[0].enqueued, 8);
+    assert_eq!(report.metrics[0].processed, 8);
+}
+
+#[test]
+fn capacity_cap_evicts_lru_sessions_with_snapshots() {
+    let server = StreamServer::new(
+        template(),
+        ServeConfig::default().with_shards(1).with_max_sessions_per_shard(2),
+    );
+    // Touch sessions 0..4 in order; with a cap of 2 the older ones must be
+    // snapshotted out as the newer ones arrive.
+    for id in 0..4u64 {
+        let batch = [Submit::new(SessionId(id), vec![0.1, 0.5, 0.9], 1)];
+        server.try_submit(&batch).expect("single requests always fit").wait();
+    }
+    let evicted = server.drain_snapshots();
+    assert_eq!(evicted.len(), 2);
+    assert!(evicted.iter().all(|s| s.reason == EvictReason::Capacity && s.steps == 1));
+    let evicted_ids: Vec<u64> = evicted.iter().map(|s| s.session.0).collect();
+    assert_eq!(evicted_ids, vec![0, 1], "LRU order");
+    let report = server.shutdown();
+    let surviving: Vec<u64> = report.snapshots.iter().map(|s| s.session.0).collect();
+    assert_eq!(surviving, vec![2, 3]);
+    assert!(report.snapshots.iter().all(|s| s.reason == EvictReason::Shutdown));
+    assert_eq!(report.metrics[0].sessions_created, 4);
+    assert_eq!(report.metrics[0].sessions_evicted, 2);
+}
+
+#[test]
+fn sessions_are_sticky_to_their_shard() {
+    let server = StreamServer::new(template(), ServeConfig::default().with_shards(SHARDS));
+    for id in 0..64u64 {
+        let shard = server.shard_of(SessionId(id));
+        assert!(shard < SHARDS);
+        for _ in 0..3 {
+            assert_eq!(server.shard_of(SessionId(id)), shard);
+        }
+    }
+}

@@ -85,9 +85,9 @@ fn run_scenario(
     let mut system = FicsumBuilder::new(stream.dims(), stream.n_classes())
         .config(config)
         .recorder(Box::new(keep.clone()))
+        .parallelism(threads)
         .build()
         .unwrap();
-    system.set_parallelism(threads);
     let mut digest = Digest::new();
     let mut n = 0usize;
     let mut correct = 0u64;
@@ -118,7 +118,7 @@ fn run_scenario(
 }
 
 fn quick_config() -> FicsumConfig {
-    FicsumConfig { window_size: 50, fingerprint_gap: 5, repository_gap: 50, ..Default::default() }
+    FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5).with_repository_gap(50)
 }
 
 fn scenarios(threads: usize) -> String {
