@@ -16,6 +16,13 @@ cargo test -q
 echo "== property tests =="
 cargo test -q --features property-tests
 
+echo "== fault-injection tests (ficsum-serve) =="
+# Supervision, quarantine, checkpoint-restore and deadline behaviour under
+# deterministic injected faults (DESIGN.md "Fault tolerance & recovery").
+# The feature is off in release artifacts; this gate compiles the serve
+# crate with the fail-point hooks and runs the serve_faults harness.
+cargo test -q -p ficsum-serve --features fault-injection
+
 echo "== deprecated accessor allowlist =="
 # The legacy post-build setters on `Ficsum` are deprecated shims over
 # `FicsumBuilder` options (DESIGN.md "Serving & sharding" → "Deprecation

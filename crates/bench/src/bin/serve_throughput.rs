@@ -14,6 +14,7 @@
 //! ```sh
 //! serve_throughput [--sessions N] [--shards S] [--steps K] [--seed S]
 //!                  [--repeat R] [--out PATH] [--check PATH] [--min-ratio F]
+//!                  [--max-p99-ratio F]
 //! ```
 //!
 //! Defaults: 64 sessions over 4 shards, 400 steps per session, best of 3.
@@ -35,6 +36,7 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     min_ratio: f64,
+    max_p99_ratio: f64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
         out: None,
         check: None,
         min_ratio: 0.8,
+        max_p99_ratio: 3.0,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -63,6 +66,7 @@ fn parse_args() -> Args {
             "--out" => a.out = Some(val(i)),
             "--check" => a.check = Some(val(i)),
             "--min-ratio" => a.min_ratio = val(i).parse().expect("--min-ratio"),
+            "--max-p99-ratio" => a.max_p99_ratio = val(i).parse().expect("--max-p99-ratio"),
             other => panic!("unknown option {other}"),
         }
         i += 2;
@@ -129,7 +133,10 @@ fn run_once(args: &Args) -> Measurement {
     }
     let mut served_steps = 0usize;
     for reply in replies {
-        served_steps += reply.wait().len();
+        for result in reply.wait() {
+            result.expect("no faults in a clean benchmark run");
+            served_steps += 1;
+        }
     }
     let seconds = t_run.elapsed().as_secs_f64();
     assert_eq!(served_steps, total, "every submitted request must be served");
@@ -239,6 +246,24 @@ fn main() {
         if ratio < args.min_ratio {
             eprintln!("PERF REGRESSION: throughput ratio {ratio:.2} below {:.2}", args.min_ratio);
             std::process::exit(1);
+        }
+        // Tail latency gates too, with more headroom than throughput: in
+        // this bench p99 is dominated by queueing time (the whole run is
+        // enqueued up front), which scales with throughput but is noisier.
+        if let Some(base_p99) = json_field(&baseline, "latency_p99_us") {
+            let p99_ratio = m.p99_us / base_p99;
+            println!(
+                "perf check: latency p99 {:.0} us vs baseline {base_p99:.0} \
+                 (ratio {p99_ratio:.2}, ceiling {:.2})",
+                m.p99_us, args.max_p99_ratio
+            );
+            if p99_ratio > args.max_p99_ratio {
+                eprintln!(
+                    "PERF REGRESSION: p99 latency ratio {p99_ratio:.2} above {:.2}",
+                    args.max_p99_ratio
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -92,7 +92,7 @@ impl std::error::Error for ConfigError {}
 /// let c = FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5);
 /// assert_eq!(c.window_size, 50);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct FicsumConfig {
     /// Window size `w`: length of both the active window `A` and the stale

@@ -8,6 +8,7 @@ use ficsum_meta::{FingerprintEngine, FingerprintExtractor, StaticScan};
 use ficsum_obs::{Clock, DriftTrigger, MonotonicClock, NullRecorder, Recorder, Stage, StreamEvent};
 use ficsum_stream::{EwStats, FrameBlock, FrameWindows};
 
+use crate::checkpoint::SessionCheckpoint;
 use crate::config::{ConfigError, FicsumConfig};
 use crate::fingerprint::{ConceptFingerprint, FingerprintNormalizer};
 use crate::repository::{ConceptEntry, ConceptId, Repository, RetainedPair};
@@ -250,6 +251,105 @@ impl Ficsum {
             baseline_outliers: 0,
             cooldown_until: config.new_concept_grace as u64,
         })
+    }
+
+    /// Captures the session's complete learned and in-flight state.
+    ///
+    /// The checkpoint is an owned deep copy: the session keeps running
+    /// unaffected, and later mutations do not leak into the capture. Pure
+    /// caches, scratch buffers and the recorder/clock are excluded — see
+    /// the [`crate::checkpoint`] module docs for the exact boundary and the
+    /// bit-identical-replay guarantee
+    /// [`crate::SessionTemplate::restore`] provides.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            config: self.config,
+            active_id: self.active_id,
+            active_fp: self.active_fp.clone(),
+            active_fp_sel: self.active_fp_sel.clone(),
+            active_clf: self.active_clf.clone(),
+            active_sim: self.active_sim,
+            active_retained: self.active_retained.clone(),
+            active_sc: self.active_sc.clone(),
+            repo: self.repo.clone(),
+            normalizer: self.normalizer.clone(),
+            weights: self.weights.clone(),
+            weights_gen: self.weights_gen,
+            weights_stamp: self.weights_stamp,
+            detector: self.detector.clone(),
+            frames: self.frames.clone(),
+            t: self.t,
+            pending_recheck: self.pending_recheck.map(|p| (p.due, p.created_new)),
+            stats: self.stats,
+            last_similarity: self.last_similarity,
+            extreme_streak: self.extreme_streak,
+            last_plasticity: self.last_plasticity,
+            baseline_outliers: self.baseline_outliers,
+            cooldown_until: self.cooldown_until,
+        }
+    }
+
+    /// Rehydrates a pipeline from a checkpoint. Compatibility between the
+    /// checkpoint and the construction inputs is the caller's contract —
+    /// [`crate::SessionTemplate::restore`] performs that validation and is
+    /// the public entry point.
+    ///
+    /// Caches, scratch buffers and the scan pool start empty: they are pure
+    /// functions of the captured state (version-keyed), so their first
+    /// `ensure`/rebuild reproduces exactly what the original session held.
+    /// The restored pipeline carries a [`NullRecorder`] until one is
+    /// attached; recorders are observers, not state.
+    pub(crate) fn from_checkpoint(
+        checkpoint: &SessionCheckpoint,
+        extractor: FingerprintExtractor,
+        factory: Box<dyn ClassifierFactory>,
+    ) -> Self {
+        Self {
+            config: checkpoint.config,
+            engine: FingerprintEngine::new(extractor),
+            normalizer: checkpoint.normalizer.clone(),
+            factory,
+            active_id: checkpoint.active_id,
+            active_fp: checkpoint.active_fp.clone(),
+            active_fp_sel: checkpoint.active_fp_sel.clone(),
+            active_clf: checkpoint.active_clf.clone(),
+            active_sim: checkpoint.active_sim,
+            active_retained: checkpoint.active_retained.clone(),
+            active_sc: checkpoint.active_sc.clone(),
+            repo: checkpoint.repo.clone(),
+            recorder: Box::new(NullRecorder),
+            clock: Arc::new(MonotonicClock::new()),
+            detector: checkpoint.detector.clone(),
+            frames: checkpoint.frames.clone(),
+            weights: checkpoint.weights.clone(),
+            weights_gen: checkpoint.weights_gen,
+            weights_stamp: checkpoint.weights_stamp,
+            active_cache: CachedFingerprint::new(),
+            active_sel_cache: CachedFingerprint::new(),
+            fp_a: Vec::new(),
+            fp_b: Vec::new(),
+            fp_tmp: Vec::new(),
+            scaled_q: Vec::new(),
+            proba_scratch: Vec::new(),
+            drift_block: FrameBlock::new(),
+            window_scan: StaticScan::new(),
+            scan_pool: Vec::new(),
+            scan_threads: 1,
+            t: checkpoint.t,
+            pending_recheck: checkpoint
+                .pending_recheck
+                .map(|(due, created_new)| PendingRecheck { due, created_new }),
+            stats: checkpoint.stats,
+            n_classes: checkpoint.n_classes,
+            n_features: checkpoint.n_features,
+            last_similarity: checkpoint.last_similarity,
+            extreme_streak: checkpoint.extreme_streak,
+            last_plasticity: checkpoint.last_plasticity,
+            baseline_outliers: checkpoint.baseline_outliers,
+            cooldown_until: checkpoint.cooldown_until,
+        }
     }
 
     /// Sets the worker-thread count (see

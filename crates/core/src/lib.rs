@@ -21,6 +21,7 @@
 //!
 //! Entry point: [`Ficsum`], usually built through [`variant::FicsumBuilder`].
 
+pub mod checkpoint;
 pub mod config;
 pub mod fingerprint;
 pub mod framework;
@@ -30,6 +31,7 @@ pub mod template;
 pub mod variant;
 pub mod weights;
 
+pub use checkpoint::{RestoreError, SessionCheckpoint};
 pub use config::{ConfigError, FicsumConfig};
 pub use fingerprint::{ConceptFingerprint, FingerprintNormalizer};
 pub use framework::{Ficsum, FicsumStats, StepOutcome};

@@ -25,6 +25,11 @@ pub struct RetainedPair {
 }
 
 /// Everything stored about one concept.
+///
+/// `Clone` deep-copies the classifier (via [`Classifier::clone_box`]); the
+/// checkpoint subsystem relies on this to capture repository state without
+/// serialising live trait objects.
+#[derive(Clone)]
 pub struct ConceptEntry {
     /// Stable identifier.
     pub id: ConceptId,
@@ -86,7 +91,7 @@ impl ConceptEntry {
 }
 
 /// The repository `R` of stored concept representations.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Repository {
     entries: Vec<ConceptEntry>,
     next_id: ConceptId,

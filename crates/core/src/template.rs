@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use ficsum_classifiers::{Classifier, ClassifierFactory, HoeffdingTree};
 
+use crate::checkpoint::{RestoreError, SessionCheckpoint};
 use crate::config::{ConfigError, FicsumConfig};
 use crate::framework::Ficsum;
 use crate::variant::Variant;
@@ -147,6 +148,65 @@ impl SessionTemplate {
             ficsum.configure_incremental_moments(true);
         }
         ficsum
+    }
+
+    /// Rehydrates a session from a [`SessionCheckpoint`] captured with
+    /// [`Ficsum::checkpoint`], after validating that this template is
+    /// compatible with the checkpointed session (feature/class counts,
+    /// fingerprint schema and hyper-parameters must all match — replaying
+    /// under a different recipe would diverge silently, so a mismatch is an
+    /// error, not a best effort).
+    ///
+    /// The restored pipeline continues **bit-identically**: driven with the
+    /// observations the original session would have seen next, it produces
+    /// the same [`crate::StepOutcome`]s and statistics as the uninterrupted
+    /// original (pinned by the snapshot→restore→replay property test). The
+    /// template's parallelism and incremental-moments options are applied to
+    /// the restored session; both are bit-identical to their defaults, so
+    /// restoring on a template with different *performance* options than the
+    /// capturing one is safe.
+    pub fn restore(&self, checkpoint: &SessionCheckpoint) -> Result<Ficsum, RestoreError> {
+        self.validate_checkpoint(checkpoint)?;
+        let extractor = self.variant.extractor(self.n_features);
+        let mut ficsum = Ficsum::from_checkpoint(checkpoint, extractor, (self.factory)());
+        if self.parallelism != 1 {
+            ficsum.configure_parallelism(self.parallelism);
+        }
+        if self.incremental_moments {
+            ficsum.configure_incremental_moments(true);
+        }
+        Ok(ficsum)
+    }
+
+    /// Checks whether [`SessionTemplate::restore`] would accept
+    /// `checkpoint`, without constructing a pipeline. A server admitting
+    /// checkpoints can reject incompatible ones eagerly on the submit
+    /// thread and leave the actual (validated, infallible) rehydration to
+    /// the worker thread that will own the session.
+    pub fn validate_checkpoint(&self, checkpoint: &SessionCheckpoint) -> Result<(), RestoreError> {
+        if self.n_features != checkpoint.n_features() {
+            return Err(RestoreError::FeatureCountMismatch {
+                template: self.n_features,
+                checkpoint: checkpoint.n_features(),
+            });
+        }
+        if self.n_classes != checkpoint.n_classes() {
+            return Err(RestoreError::ClassCountMismatch {
+                template: self.n_classes,
+                checkpoint: checkpoint.n_classes(),
+            });
+        }
+        if self.config != *checkpoint.config() {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        let dims = self.variant.extractor(self.n_features).schema().len();
+        if dims != checkpoint.dims() {
+            return Err(RestoreError::DimensionMismatch {
+                template: dims,
+                checkpoint: checkpoint.dims(),
+            });
+        }
+        Ok(())
     }
 }
 

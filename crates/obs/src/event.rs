@@ -135,6 +135,35 @@ pub enum StreamEvent {
         /// Number of observations in the batch.
         len: u64,
     },
+    /// A session's pipeline panicked while processing a request; the
+    /// session was quarantined (its last-good checkpoint snapshotted) and
+    /// the shard kept serving its other sessions.
+    SessionPoisoned {
+        /// Shard that owned the session.
+        shard: u64,
+        /// Identifier of the poisoned session.
+        session: u64,
+    },
+    /// A crashed shard worker thread was respawned; the surviving session
+    /// table carried over to the new incarnation.
+    WorkerRestarted {
+        /// Shard whose worker was restarted.
+        shard: u64,
+        /// Restart ordinal for this shard (1 = first restart).
+        incarnation: u64,
+        /// Sessions that survived into the new incarnation.
+        sessions: u64,
+    },
+    /// A session was rehydrated from a checkpoint (server-startup restore
+    /// or explicit re-admission of an evicted/quarantined session).
+    SessionRestored {
+        /// Shard that now owns the session.
+        shard: u64,
+        /// Identifier of the restored session.
+        session: u64,
+        /// Observation count the restored pipeline resumed from.
+        steps: u64,
+    },
 }
 
 impl StreamEvent {
@@ -154,6 +183,9 @@ impl StreamEvent {
             StreamEvent::SessionCreated { .. } => "session_created",
             StreamEvent::SessionEvicted { .. } => "session_evicted",
             StreamEvent::BatchProcessed { .. } => "batch_processed",
+            StreamEvent::SessionPoisoned { .. } => "session_poisoned",
+            StreamEvent::WorkerRestarted { .. } => "worker_restarted",
+            StreamEvent::SessionRestored { .. } => "session_restored",
         }
     }
 }
@@ -180,5 +212,18 @@ mod tests {
         assert_eq!(StreamEvent::SessionCreated { shard: 0, session: 1 }.name(), "session_created");
         assert_eq!(StreamEvent::SessionEvicted { shard: 0, session: 1 }.name(), "session_evicted");
         assert_eq!(StreamEvent::BatchProcessed { shard: 2, len: 64 }.name(), "batch_processed");
+    }
+
+    #[test]
+    fn fault_event_names_are_stable() {
+        assert_eq!(StreamEvent::SessionPoisoned { shard: 0, session: 9 }.name(), "session_poisoned");
+        assert_eq!(
+            StreamEvent::WorkerRestarted { shard: 1, incarnation: 1, sessions: 7 }.name(),
+            "worker_restarted"
+        );
+        assert_eq!(
+            StreamEvent::SessionRestored { shard: 0, session: 9, steps: 1000 }.name(),
+            "session_restored"
+        );
     }
 }

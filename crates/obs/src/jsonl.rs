@@ -174,7 +174,8 @@ fn event_fields(t: u64, event: &StreamEvent, emit: &mut RecordSink<'_>) {
             emit(&[kind, ts, name, ("id", JsonValue::Int(*id))]);
         }
         StreamEvent::SessionCreated { shard, session }
-        | StreamEvent::SessionEvicted { shard, session } => {
+        | StreamEvent::SessionEvicted { shard, session }
+        | StreamEvent::SessionPoisoned { shard, session } => {
             emit(&[
                 kind,
                 ts,
@@ -190,6 +191,26 @@ fn event_fields(t: u64, event: &StreamEvent, emit: &mut RecordSink<'_>) {
                 name,
                 ("shard", JsonValue::Int(*shard)),
                 ("len", JsonValue::Int(*len)),
+            ]);
+        }
+        StreamEvent::WorkerRestarted { shard, incarnation, sessions } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("shard", JsonValue::Int(*shard)),
+                ("incarnation", JsonValue::Int(*incarnation)),
+                ("sessions", JsonValue::Int(*sessions)),
+            ]);
+        }
+        StreamEvent::SessionRestored { shard, session, steps } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("shard", JsonValue::Int(*shard)),
+                ("session", JsonValue::Int(*session)),
+                ("steps", JsonValue::Int(*steps)),
             ]);
         }
         StreamEvent::DetectorWarning | StreamEvent::PlasticityReset => {

@@ -1,7 +1,21 @@
-//! Serving errors. All are returned eagerly from the submit path — once a
-//! batch is accepted it is guaranteed to be processed.
+//! Serving errors.
+//!
+//! Two layers of failure, matching the two promises the server makes:
+//!
+//! * [`ServeError`] — the *submit* path. Returned eagerly; a rejected batch
+//!   has enqueued **zero** of its requests and can be retried verbatim.
+//! * [`StepError`] — the *reply* path. Once a batch is accepted every slot
+//!   is guaranteed to complete, but under faults a slot may complete with
+//!   an error instead of an outcome: a panicking session is quarantined
+//!   ([`StepError::SessionPoisoned`]) and a shard that exhausts its restart
+//!   budget fails its remaining requests ([`StepError::WorkerFailed`])
+//!   rather than hanging their callers forever.
 
 use std::fmt;
+
+use ficsum_core::RestoreError;
+
+use crate::session::SessionId;
 
 /// Why a submit was rejected.
 ///
@@ -30,6 +44,23 @@ pub enum ServeError {
     ShutDown,
     /// The batch contained no requests.
     EmptyBatch,
+    /// A blocking submit could not enqueue the batch before its deadline.
+    /// Nothing was enqueued; the caller still owns the batch.
+    DeadlineExceeded,
+    /// A checkpoint handed to the server for restore does not fit the
+    /// server's template (see [`ficsum_core::SessionTemplate::restore`]).
+    IncompatibleCheckpoint {
+        /// The session whose checkpoint was rejected.
+        session: SessionId,
+        /// Why the template refused it.
+        reason: RestoreError,
+    },
+    /// A snapshot handed to the server for restore carries no checkpoint
+    /// (its session's state was not capturable when it was taken).
+    MissingCheckpoint {
+        /// The session whose snapshot is stateless.
+        session: SessionId,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -43,8 +74,62 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShutDown => write!(f, "server has shut down"),
             ServeError::EmptyBatch => write!(f, "batch contains no requests"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline passed before the batch could be enqueued")
+            }
+            ServeError::IncompatibleCheckpoint { session, reason } => {
+                write!(f, "cannot restore {session}: {reason}")
+            }
+            ServeError::MissingCheckpoint { session } => {
+                write!(f, "cannot restore {session}: its snapshot carries no checkpoint")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Why one accepted request completed without an outcome.
+///
+/// Reply slots carry [`StepResult`]s: the server's "every accepted request
+/// completes" guarantee survives faults by completing a slot with an error
+/// instead of never completing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StepError {
+    /// The session's pipeline panicked (on this request or an earlier one)
+    /// and the session is quarantined. Its last-good state was snapshotted
+    /// with [`crate::EvictReason::Poisoned`] and can be rehydrated via
+    /// [`ficsum_core::SessionTemplate::restore`]; other sessions on the
+    /// shard are unaffected.
+    SessionPoisoned {
+        /// The quarantined session.
+        session: SessionId,
+    },
+    /// The owning shard worker failed permanently (crash-restart budget
+    /// exhausted) before reaching this request. Surviving sessions were
+    /// snapshotted; the request itself was never processed.
+    WorkerFailed {
+        /// The failed shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::SessionPoisoned { session } => {
+                write!(f, "{session} is quarantined after a pipeline panic")
+            }
+            StepError::WorkerFailed { shard } => {
+                write!(f, "shard {shard} worker failed before processing this request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// What one reply slot resolves to: the step's outcome, or why the server
+/// could not produce one.
+pub type StepResult = Result<ficsum_core::StepOutcome, StepError>;

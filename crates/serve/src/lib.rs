@@ -16,11 +16,23 @@
 //!   nothing, so the caller can retry verbatim.
 //! * Sessions are created lazily from one validated
 //!   [`ficsum_core::SessionTemplate`] and evicted least-recently-used at a
-//!   per-shard cap, leaving a [`SessionSnapshot`] of what they learned.
+//!   per-shard cap, leaving a [`SessionSnapshot`] of what they learned —
+//!   including a full [`ficsum_core::SessionCheckpoint`] from which a
+//!   future server rehydrates the session bit-identically
+//!   ([`ServeOptions::with_restore`]).
 //! * Observability rides along per shard: counters, queue-depth gauges and
 //!   submit→reply latency histograms flow through any
 //!   [`ficsum_obs::Recorder`] built by a [`RecorderFactory`] on the shard's
 //!   own thread.
+//! * Workers are **supervised**: a panicking pipeline quarantines only its
+//!   own session ([`StepError::SessionPoisoned`]); a panic escaping the
+//!   per-request guard restarts the worker with its session table and
+//!   backlog intact. Accepted requests always complete — with an outcome
+//!   or a [`StepError`] — so [`BatchReply::wait`] cannot hang, and
+//!   [`BatchReply::wait_timeout`] / [`StreamServer::submit_with_deadline`]
+//!   bound the waits themselves. The `fault-injection` cargo feature (off
+//!   by default, zero release overhead) adds deterministic fail points for
+//!   exercising all of this in tests.
 //!
 //! # Threading model (the `Send` audit)
 //!
@@ -33,18 +45,25 @@
 //! below make this contract a compile-time fact.
 
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod queue;
 mod reply;
 mod server;
 mod session;
 mod shard;
+mod sync;
 
-pub use error::ServeError;
+pub use error::{ServeError, StepError, StepResult};
 pub use reply::BatchReply;
 pub use server::{
-    RecorderFactory, ServeConfig, ServeReport, ShardMetrics, StreamServer, Submit,
+    RecorderFactory, RetryPolicy, ServeConfig, ServeOptions, ServeReport, ShardMetrics,
+    StreamServer, Submit,
 };
 pub use session::{EvictReason, SessionId, SessionSnapshot};
+
+#[cfg(feature = "fault-injection")]
+pub use fault::{FailPoint, FaultAction, FaultInjector, ScriptedFaults, SeededFaults};
 
 // Compile-time Send audit of everything that crosses or touches the
 // channel boundary.
@@ -56,6 +75,8 @@ const _: () = {
     assert_send::<Submit>();
     assert_send::<ServeError>();
     assert_send::<SessionSnapshot>();
+    assert_send::<StepError>();
+    assert_send::<ficsum_core::SessionCheckpoint>();
     assert_send_sync::<ficsum_core::SessionTemplate>();
     assert_send_sync::<StreamServer>();
 };

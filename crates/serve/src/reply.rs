@@ -5,10 +5,18 @@
 //! index = the request's position in the submitted batch), and the handle
 //! becomes ready when the last slot lands. This keeps replies ordered for
 //! the caller without any cross-shard coordination beyond a shared counter.
+//!
+//! Slots carry [`StepResult`]s, not bare outcomes: under faults the server
+//! completes a slot with an error ([`crate::StepError`]) rather than never
+//! completing it, so `wait` cannot hang on a quarantined session or a
+//! failed worker. [`BatchReply::wait_timeout`] additionally bounds the wait
+//! itself, for callers that must make progress even if a shard stalls.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use ficsum_core::StepOutcome;
+use crate::error::StepResult;
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 
 pub(crate) struct BatchShared {
     state: Mutex<BatchState>,
@@ -16,7 +24,7 @@ pub(crate) struct BatchShared {
 }
 
 struct BatchState {
-    slots: Vec<Option<StepOutcome>>,
+    slots: Vec<Option<StepResult>>,
     pending: usize,
 }
 
@@ -28,24 +36,27 @@ impl BatchShared {
         })
     }
 
-    /// Called by a shard worker with the outcome for one request. Slots are
+    /// Called by a shard worker with the result for one request. Slots are
     /// disjoint across workers, so filling never races on the same index.
-    pub(crate) fn fill(&self, slot: usize, outcome: StepOutcome) {
-        let mut state = self.state.lock().expect("batch state poisoned");
+    pub(crate) fn fill(&self, slot: usize, result: StepResult) {
+        let mut state = lock_recover(&self.state);
         debug_assert!(state.slots[slot].is_none(), "slot {slot} filled twice");
-        state.slots[slot] = Some(outcome);
+        state.slots[slot] = Some(result);
         state.pending -= 1;
         if state.pending == 0 {
             self.done.notify_all();
         }
     }
+
 }
 
 /// Handle to a batch accepted by [`crate::StreamServer::try_submit`].
 ///
-/// The server guarantees every accepted request is processed (workers drain
-/// their queues even during shutdown), so [`BatchReply::wait`] always
-/// terminates once the batch has flowed through its shards.
+/// The server guarantees every accepted request's slot *completes* — with
+/// the step's outcome, or with a [`StepError`] when a fault prevented one —
+/// so [`BatchReply::wait`] always terminates once the batch has flowed
+/// through its shards. Use [`BatchReply::wait_timeout`] to additionally
+/// bound how long "flowed through" may take.
 pub struct BatchReply {
     shared: Arc<BatchShared>,
     len: usize,
@@ -67,23 +78,48 @@ impl BatchReply {
         self.len == 0
     }
 
-    /// Whether every request has been processed (non-blocking).
+    /// Whether every request has completed (non-blocking).
     pub fn is_ready(&self) -> bool {
-        self.shared.state.lock().expect("batch state poisoned").pending == 0
+        lock_recover(&self.shared.state).pending == 0
     }
 
-    /// Blocks until every request in the batch has been processed and
-    /// returns the outcomes in submission order.
-    pub fn wait(self) -> Vec<StepOutcome> {
-        let mut state = self.shared.state.lock().expect("batch state poisoned");
+    /// Blocks until every request in the batch has completed and returns
+    /// the per-request results in submission order.
+    pub fn wait(self) -> Vec<StepResult> {
+        let mut state = lock_recover(&self.shared.state);
         while state.pending > 0 {
-            state = self.shared.done.wait(state).expect("batch state poisoned");
+            state = wait_recover(&self.shared.done, state);
         }
         state
             .slots
             .iter_mut()
             .map(|s| s.take().expect("completed batch has every slot filled"))
             .collect()
+    }
+
+    /// Like [`BatchReply::wait`], but gives up once `timeout` has elapsed:
+    /// `Err` returns the handle itself so the caller can keep waiting
+    /// later, poll [`BatchReply::is_ready`], or drop it (outstanding
+    /// requests still complete inside the server; their results are simply
+    /// discarded).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<StepResult>, BatchReply> {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_recover(&self.shared.state);
+        while state.pending > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                return Err(self);
+            }
+            (state, _) = wait_timeout_recover(&self.shared.done, state, deadline - now);
+        }
+        let results = state
+            .slots
+            .iter_mut()
+            .map(|s| s.take().expect("completed batch has every slot filled"))
+            .collect();
+        drop(state);
+        Ok(results)
     }
 }
 
@@ -93,5 +129,52 @@ impl std::fmt::Debug for BatchReply {
             .field("len", &self.len)
             .field("ready", &self.is_ready())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StepError;
+    use crate::session::SessionId;
+    use ficsum_core::{FicsumConfig, SessionTemplate, StepOutcome, Variant};
+
+    fn outcome() -> StepOutcome {
+        // Only the framework constructs `StepOutcome` (non_exhaustive), so
+        // take a real one from a throwaway pipeline.
+        let template =
+            SessionTemplate::new(2, 2, FicsumConfig::default(), Variant::ErrorRate).unwrap();
+        template.instantiate().process(&[0.0, 1.0], 0)
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_handle_until_complete() {
+        let shared = BatchShared::new(2);
+        let reply = BatchReply::new(shared.clone(), 2);
+        shared.fill(0, Ok(outcome()));
+        let start = Instant::now();
+        let reply = reply
+            .wait_timeout(Duration::from_millis(40))
+            .expect_err("one slot still pending");
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        assert!(!reply.is_ready());
+        shared.fill(1, Err(StepError::SessionPoisoned { session: SessionId(9) }));
+        let results = reply.wait_timeout(Duration::from_secs(5)).expect("complete");
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(StepError::SessionPoisoned { session: SessionId(9) }));
+    }
+
+    #[test]
+    fn error_fills_complete_a_batch_like_outcomes_do() {
+        let shared = BatchShared::new(3);
+        let reply = BatchReply::new(shared.clone(), 3);
+        shared.fill(1, Ok(outcome()));
+        shared.fill(0, Err(StepError::WorkerFailed { shard: 2 }));
+        shared.fill(2, Err(StepError::WorkerFailed { shard: 2 }));
+        let results = reply.wait();
+        assert_eq!(results[0], Err(StepError::WorkerFailed { shard: 2 }));
+        assert!(results[1].is_ok(), "filled slot must be preserved");
+        assert_eq!(results[2], Err(StepError::WorkerFailed { shard: 2 }));
     }
 }

@@ -1,9 +1,9 @@
-//! The `StreamServer`: shard-partitioned, non-blocking, deterministic.
+//! The `StreamServer`: shard-partitioned, fault-tolerant, deterministic.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ficsum_core::SessionTemplate;
 use ficsum_obs::{LatencyHistogram, Recorder};
@@ -13,11 +13,21 @@ use crate::queue::{self, Request, ShardQueue};
 use crate::reply::{BatchReply, BatchShared};
 use crate::session::{SessionId, SessionSnapshot};
 use crate::shard::{self, ShardContext, ShardStats};
+use crate::sync::lock_recover;
+
+#[cfg(feature = "fault-injection")]
+use crate::fault::FaultInjector;
 
 /// Builds one recorder per shard, on the shard's own thread — recorders
 /// themselves need not be `Send`. Share a single sink across shards by
-/// closing over an `Arc<Mutex<R>>` (it implements [`Recorder`]).
+/// closing over an `Arc<Mutex<R>>` (it implements [`Recorder`]). The
+/// factory is also re-invoked when a crashed worker restarts (the previous
+/// incarnation's recorder died with its thread), so it must be reusable.
 pub type RecorderFactory = Arc<dyn Fn(usize) -> Box<dyn Recorder> + Send + Sync>;
+
+/// A batch's requests grouped by destination shard, in ascending shard
+/// order (the lock order `try_submit_all` relies on).
+type ShardGroups = Vec<(usize, Vec<Request>)>;
 
 /// Server shape: how many shards, how much queue, how many live sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +81,69 @@ impl ServeConfig {
     }
 }
 
+/// Optional server facilities beyond the shape in [`ServeConfig`]:
+/// observability, checkpoint restore, and (under the `fault-injection`
+/// feature) deterministic fault injection.
+///
+/// ```ignore
+/// let report = server.shutdown();
+/// // ... later, possibly in a new process ...
+/// let server = StreamServer::with_options(
+///     template,
+///     config,
+///     ServeOptions::default().with_restore(report.snapshots),
+/// )?;
+/// ```
+#[derive(Default)]
+pub struct ServeOptions {
+    recorder_factory: Option<RecorderFactory>,
+    restore: Vec<SessionSnapshot>,
+    #[cfg(feature = "fault-injection")]
+    injector: Option<Arc<dyn FaultInjector>>,
+}
+
+impl ServeOptions {
+    /// Attaches a per-shard recorder factory (see [`RecorderFactory`]).
+    #[must_use]
+    pub fn with_recorder_factory(mut self, factory: RecorderFactory) -> Self {
+        self.recorder_factory = Some(factory);
+        self
+    }
+
+    /// Rehydrates sessions from earlier [`SessionSnapshot`]s before the
+    /// server starts accepting work. Each snapshot must carry a
+    /// checkpoint compatible with the server's template;
+    /// [`StreamServer::with_options`] validates all of them eagerly and
+    /// refuses construction otherwise, so an incompatible checkpoint
+    /// surfaces as an error at startup rather than a panic mid-serve.
+    #[must_use]
+    pub fn with_restore(mut self, snapshots: Vec<SessionSnapshot>) -> Self {
+        self.restore = snapshots;
+        self
+    }
+
+    /// Injects deterministic faults into the shard workers (tests and the
+    /// fault harness only; the hook does not exist in builds without the
+    /// `fault-injection` feature).
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("ServeOptions");
+        s.field("recorder_factory", &self.recorder_factory.is_some())
+            .field("restore", &self.restore.len());
+        #[cfg(feature = "fault-injection")]
+        s.field("injector", &self.injector.is_some());
+        s.finish()
+    }
+}
+
 /// One observation addressed to one session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Submit {
@@ -90,6 +163,53 @@ impl Submit {
     }
 }
 
+/// How [`StreamServer::submit_with_retry`] backs off between attempts:
+/// bounded exponential — the delay doubles from `initial_backoff` up to
+/// `max_backoff`, for at most `max_attempts` submit attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Total submit attempts (including the first). Minimum 1.
+    pub max_attempts: u32,
+    /// Sleep after the first refused attempt.
+    pub initial_backoff: Duration,
+    /// Cap on the per-attempt sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Returns the policy with `max_attempts` replaced.
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Returns the policy with `initial_backoff` replaced.
+    #[must_use]
+    pub fn with_initial_backoff(mut self, backoff: Duration) -> Self {
+        self.initial_backoff = backoff;
+        self
+    }
+
+    /// Returns the policy with `max_backoff` replaced.
+    #[must_use]
+    pub fn with_max_backoff(mut self, backoff: Duration) -> Self {
+        self.max_backoff = backoff;
+        self
+    }
+}
+
 /// Point-in-time view of one shard's health.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -98,7 +218,8 @@ pub struct ShardMetrics {
     pub shard: usize,
     /// Requests accepted into the queue over the server's lifetime.
     pub enqueued: u64,
-    /// Requests processed and replied to.
+    /// Requests processed and replied to (including error replies for
+    /// poisoned sessions).
     pub processed: u64,
     /// Queue drains (≥ 1 request each) the worker has performed.
     pub batches: u64,
@@ -107,6 +228,13 @@ pub struct ShardMetrics {
     /// Sessions evicted by the LRU capacity cap (shutdown snapshots are
     /// not counted here).
     pub sessions_evicted: u64,
+    /// Sessions quarantined after their pipeline panicked.
+    pub sessions_poisoned: u64,
+    /// Sessions rehydrated from checkpoints at startup.
+    pub sessions_restored: u64,
+    /// Times the supervisor restarted this shard's serve loop after a
+    /// panic escaped the per-request guard.
+    pub worker_restarts: u64,
     /// Pipelines currently live.
     pub live_sessions: usize,
     /// Requests waiting in the queue right now.
@@ -121,15 +249,16 @@ pub struct ShardMetrics {
 #[derive(Debug)]
 #[non_exhaustive]
 pub struct ServeReport {
-    /// Snapshots of all sessions: capacity evictions during the run plus
-    /// every session still live at shutdown.
+    /// Snapshots not previously taken via
+    /// [`StreamServer::drain_snapshots`]: eviction/quarantine snapshots
+    /// still in the store, plus every session live at shutdown.
     pub snapshots: Vec<SessionSnapshot>,
     /// Final per-shard metrics.
     pub metrics: Vec<ShardMetrics>,
 }
 
-/// Serves many concurrent FiCSUM sessions over a fixed pool of shard
-/// workers.
+/// Serves many concurrent FiCSUM sessions over a fixed pool of supervised
+/// shard workers.
 ///
 /// * **Partitioning** — each [`SessionId`] maps to one shard by a fixed
 ///   hash; all of a session's requests are processed by that shard's single
@@ -138,9 +267,17 @@ pub struct ServeReport {
 /// * **Backpressure** — [`StreamServer::try_submit`] never blocks. If any
 ///   involved shard queue lacks room for the batch, the whole batch is
 ///   refused ([`ServeError::Overloaded`]) and nothing is enqueued.
+///   [`StreamServer::submit_with_deadline`] and
+///   [`StreamServer::submit_with_retry`] layer bounded waiting on top.
 /// * **Lifecycle** — sessions are created on first sight from the shared
 ///   template and evicted LRU at the per-shard cap; evicted and
-///   shutdown-surviving sessions leave a [`SessionSnapshot`].
+///   shutdown-surviving sessions leave a [`SessionSnapshot`] whose
+///   checkpoint can seed a future server
+///   ([`ServeOptions::with_restore`]).
+/// * **Fault tolerance** — a panicking pipeline quarantines only its own
+///   session; a panic escaping the per-request guard restarts the worker
+///   with its sessions intact. Every accepted request's reply slot always
+///   completes, if necessary with a [`crate::StepError`].
 pub struct StreamServer {
     template: SessionTemplate,
     config: ServeConfig,
@@ -154,7 +291,8 @@ impl StreamServer {
     /// Starts `config.shards` workers serving sessions stamped from
     /// `template`, with no observability attached.
     pub fn new(template: SessionTemplate, config: ServeConfig) -> Self {
-        Self::with_recorder_factory(template, config, None)
+        Self::with_options(template, config, ServeOptions::default())
+            .expect("no restore snapshots, construction cannot fail")
     }
 
     /// Like [`StreamServer::new`], with a per-shard recorder. The factory
@@ -164,12 +302,50 @@ impl StreamServer {
         config: ServeConfig,
         recorder_factory: Option<RecorderFactory>,
     ) -> Self {
+        let mut options = ServeOptions::default();
+        if let Some(factory) = recorder_factory {
+            options = options.with_recorder_factory(factory);
+        }
+        Self::with_options(template, config, options)
+            .expect("no restore snapshots, construction cannot fail")
+    }
+
+    /// Starts a server with the full option set: recorders, checkpoint
+    /// restore, fault injection (feature-gated).
+    ///
+    /// Every restore snapshot is validated against `template` *before* any
+    /// worker spawns: a snapshot without a checkpoint fails with
+    /// [`ServeError::MissingCheckpoint`], one whose checkpoint disagrees
+    /// with the template (feature count, class count, fingerprint schema,
+    /// config) with [`ServeError::IncompatibleCheckpoint`]. On success each
+    /// checkpointed session is rehydrated bit-identically on the shard that
+    /// owns its id, and counts toward that shard's session cap.
+    pub fn with_options(
+        template: SessionTemplate,
+        config: ServeConfig,
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
         let config = config.normalized();
+        let mut restore: Vec<Vec<(SessionId, u64, ficsum_core::SessionCheckpoint)>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+        for snapshot in &options.restore {
+            let session = snapshot.session;
+            let checkpoint = snapshot
+                .checkpoint
+                .as_ref()
+                .ok_or(ServeError::MissingCheckpoint { session })?;
+            template
+                .validate_checkpoint(checkpoint)
+                .map_err(|reason| ServeError::IncompatibleCheckpoint { session, reason })?;
+            let shard = shard_of_with(session, config.shards);
+            restore[shard].push((session, snapshot.steps, checkpoint.clone()));
+        }
         let queues: Vec<Arc<ShardQueue>> =
             (0..config.shards).map(|_| Arc::new(ShardQueue::new(config.queue_capacity))).collect();
         let stats: Vec<Arc<Mutex<ShardStats>>> =
             (0..config.shards).map(|_| Arc::new(Mutex::new(ShardStats::new()))).collect();
         let snapshots = Arc::new(Mutex::new(Vec::new()));
+        let mut restore = restore.into_iter();
         let workers = (0..config.shards)
             .map(|shard| {
                 let ctx = ShardContext {
@@ -179,18 +355,18 @@ impl StreamServer {
                     max_sessions: config.max_sessions_per_shard,
                     stats: stats[shard].clone(),
                     snapshots: snapshots.clone(),
+                    restore: restore.next().expect("one restore list per shard"),
+                    #[cfg(feature = "fault-injection")]
+                    injector: options.injector.clone(),
                 };
-                let factory = recorder_factory.clone();
+                let factory = options.recorder_factory.clone();
                 std::thread::Builder::new()
                     .name(format!("ficsum-serve-{shard}"))
-                    .spawn(move || {
-                        let recorder = factory.map(|make| make(shard));
-                        shard::run(ctx, recorder);
-                    })
+                    .spawn(move || shard::run(ctx, factory))
                     .expect("spawn shard worker")
             })
             .collect();
-        Self { template, config, queues, stats, snapshots, workers }
+        Ok(Self { template, config, queues, stats, snapshots, workers })
     }
 
     /// The template sessions are stamped from.
@@ -206,16 +382,90 @@ impl StreamServer {
     /// The shard that owns `session`. Stable for the server's lifetime and
     /// across servers with the same shard count.
     pub fn shard_of(&self, session: SessionId) -> usize {
-        (splitmix64(session.0) % self.config.shards as u64) as usize
+        shard_of_with(session, self.config.shards)
     }
 
     /// Submits a batch of observations without blocking.
     ///
-    /// On success every request is guaranteed to be processed; await the
-    /// outcomes (in submission order) through the returned [`BatchReply`].
-    /// On error **nothing** was enqueued: the caller still owns the batch
-    /// and can retry it verbatim after backing off.
+    /// On success every request is guaranteed a *completed* reply slot —
+    /// the step's outcome, or a [`crate::StepError`] if a fault prevented
+    /// one; await them (in submission order) through the returned
+    /// [`BatchReply`]. On error **nothing** was enqueued: the caller still
+    /// owns the batch and can retry it verbatim after backing off — or use
+    /// [`StreamServer::submit_with_deadline`] /
+    /// [`StreamServer::submit_with_retry`] to have the server do so.
     pub fn try_submit(&self, batch: &[Submit]) -> Result<BatchReply, ServeError> {
+        let (shared, mut grouped) = self.prepare(batch)?;
+        queue::try_submit_all(&self.queues, &mut grouped)?;
+        Ok(BatchReply::new(shared, batch.len()))
+    }
+
+    /// Submits a batch, blocking up to `timeout` for queue space.
+    ///
+    /// Where [`StreamServer::try_submit`] refuses a full queue immediately,
+    /// this parks on the contended shard's space condvar and retries when
+    /// the worker drains — no spin, no sleep tuning. Fails with
+    /// [`ServeError::DeadlineExceeded`] if the batch could not be accepted
+    /// in time (nothing was enqueued) and [`ServeError::ShutDown`] if a
+    /// needed shard closed while waiting. The timeout bounds *admission*
+    /// only; pair it with [`BatchReply::wait_timeout`] to also bound the
+    /// wait for results.
+    pub fn submit_with_deadline(
+        &self,
+        batch: &[Submit],
+        timeout: Duration,
+    ) -> Result<BatchReply, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let (shared, mut grouped) = self.prepare(batch)?;
+        loop {
+            match queue::try_submit_all(&self.queues, &mut grouped) {
+                Ok(()) => return Ok(BatchReply::new(shared, batch.len())),
+                Err(ServeError::Overloaded { shard }) => {
+                    let needed = grouped
+                        .iter()
+                        .find(|(s, _)| *s == shard)
+                        .map(|(_, requests)| requests.len())
+                        .unwrap_or(1);
+                    // Waits until the shard has room for this batch's whole
+                    // share of it, the deadline passes, or the queue closes.
+                    self.queues[shard].wait_for_space(needed, deadline)?;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Submits a batch, retrying refused ([`ServeError::Overloaded`])
+    /// attempts under `policy`'s bounded exponential backoff. Returns the
+    /// last refusal once attempts are exhausted; non-transient errors
+    /// (shutdown, validation) fail immediately without retrying.
+    pub fn submit_with_retry(
+        &self,
+        batch: &[Submit],
+        policy: RetryPolicy,
+    ) -> Result<BatchReply, ServeError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        let mut last = ServeError::EmptyBatch;
+        for attempt in 0..attempts {
+            match self.try_submit(batch) {
+                Ok(reply) => return Ok(reply),
+                Err(error @ ServeError::Overloaded { .. }) => {
+                    last = error;
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(policy.max_backoff);
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last)
+    }
+
+    /// Validates a batch and groups it per shard; shared submission front
+    /// half of the `submit` family.
+    fn prepare(&self, batch: &[Submit]) -> Result<(Arc<BatchShared>, ShardGroups), ServeError> {
         if batch.is_empty() {
             return Err(ServeError::EmptyBatch);
         }
@@ -241,8 +491,7 @@ impl StreamServer {
                 submitted_at: now,
             });
         }
-        queue::try_submit_all(&self.queues, grouped.into_iter().collect())?;
-        Ok(BatchReply::new(shared, batch.len()))
+        Ok((shared, grouped.into_iter().collect()))
     }
 
     /// Current per-shard metrics (queue gauges + worker counters).
@@ -250,7 +499,7 @@ impl StreamServer {
         (0..self.config.shards)
             .map(|shard| {
                 let (queue_depth, enqueued, max_queue_depth) = self.queues[shard].gauges();
-                let stats = self.stats[shard].lock().expect("shard stats poisoned");
+                let stats = lock_recover(&self.stats[shard]);
                 ShardMetrics {
                     shard,
                     enqueued,
@@ -258,6 +507,9 @@ impl StreamServer {
                     batches: stats.batches,
                     sessions_created: stats.sessions_created,
                     sessions_evicted: stats.sessions_evicted,
+                    sessions_poisoned: stats.sessions_poisoned,
+                    sessions_restored: stats.sessions_restored,
+                    worker_restarts: stats.worker_restarts,
                     live_sessions: stats.live_sessions,
                     queue_depth,
                     max_queue_depth,
@@ -267,20 +519,34 @@ impl StreamServer {
             .collect()
     }
 
-    /// Takes the snapshots accumulated so far (capacity evictions). More
-    /// may arrive while the server runs; [`StreamServer::shutdown`] returns
-    /// the complete set.
+    /// Takes the snapshots accumulated so far (capacity evictions and
+    /// quarantines) out of the store. Non-blocking with respect to the
+    /// workers.
+    ///
+    /// **Exactly-once, with [`StreamServer::shutdown`]:** every snapshot
+    /// the server ever produces is returned by exactly one
+    /// `drain_snapshots` call or by the final `shutdown` report, never
+    /// both. A snapshot becomes drainable only after its eviction fully
+    /// completed on the worker, so a drained checkpoint is always a
+    /// consistent capture.
     pub fn drain_snapshots(&self) -> Vec<SessionSnapshot> {
-        std::mem::take(&mut *self.snapshots.lock().expect("snapshot store poisoned"))
+        std::mem::take(&mut *lock_recover(&self.snapshots))
     }
 
-    /// Stops accepting work, drains every queue (accepted batches are still
-    /// processed and replied to), snapshots all surviving sessions, and
-    /// returns the final report.
+    /// Stops accepting work, drains every queue (accepted batches are
+    /// still processed and replied to), snapshots all surviving sessions,
+    /// and returns the final report.
+    ///
+    /// **Ordering guarantee:** queues close first, then every worker is
+    /// joined, and only then is the snapshot store emptied — so the report
+    /// contains each remaining session exactly once, with its final state.
+    /// Snapshots already taken via [`StreamServer::drain_snapshots`] are
+    /// not repeated (see its exactly-once contract). Dropping the server
+    /// instead of calling `shutdown` still joins the workers but discards
+    /// the undrained snapshots.
     pub fn shutdown(mut self) -> ServeReport {
         self.close_and_join();
-        let snapshots =
-            std::mem::take(&mut *self.snapshots.lock().expect("snapshot store poisoned"));
+        let snapshots = std::mem::take(&mut *lock_recover(&self.snapshots));
         let metrics = self.metrics();
         ServeReport { snapshots, metrics }
     }
@@ -290,8 +556,9 @@ impl StreamServer {
             queue.close();
         }
         for worker in self.workers.drain(..) {
-            // A panicked worker already poisoned its state; nothing useful
-            // to do here beyond not compounding the panic.
+            // Workers are supervised and exit cleanly even after panics; a
+            // join error would mean the supervisor itself died, which has
+            // no useful handling beyond not compounding the panic.
             let _ = worker.join();
         }
     }
@@ -301,6 +568,10 @@ impl Drop for StreamServer {
     fn drop(&mut self) {
         self.close_and_join();
     }
+}
+
+fn shard_of_with(session: SessionId, shards: usize) -> usize {
+    (splitmix64(session.0) % shards as u64) as usize
 }
 
 /// SplitMix64 finalizer: a fixed, well-mixed session→shard hash so the
@@ -316,10 +587,16 @@ fn splitmix64(value: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::StepError;
+    use crate::session::EvictReason;
     use ficsum_core::{FicsumConfig, Variant};
 
     fn template() -> SessionTemplate {
         SessionTemplate::new(2, 2, FicsumConfig::default(), Variant::ErrorRate).unwrap()
+    }
+
+    fn outcomes(reply: BatchReply) -> Vec<ficsum_core::StepOutcome> {
+        reply.wait().into_iter().map(|r| r.expect("no faults in this test")).collect()
     }
 
     #[test]
@@ -328,8 +605,8 @@ mod tests {
         let batch: Vec<Submit> = (0..32)
             .map(|i| Submit::new(SessionId(i % 4), vec![0.3, 0.7], (i % 2) as usize))
             .collect();
-        let outcomes = server.try_submit(&batch).expect("queues are empty").wait();
-        assert_eq!(outcomes.len(), 32);
+        let results = outcomes(server.try_submit(&batch).expect("queues are empty"));
+        assert_eq!(results.len(), 32);
         let report = server.shutdown();
         assert_eq!(report.snapshots.len(), 4, "all four sessions snapshotted");
         assert_eq!(report.snapshots.iter().map(|s| s.steps).sum::<u64>(), 32);
@@ -368,5 +645,220 @@ mod tests {
             seen[shard] += 1;
         }
         assert!(seen.iter().all(|&n| n > 50), "roughly balanced: {seen:?}");
+    }
+
+    #[test]
+    fn restore_resumes_sessions_across_server_generations() {
+        let config = ServeConfig::default().with_shards(2);
+        let first = StreamServer::new(template(), config);
+        let batch: Vec<Submit> = (0..40)
+            .map(|i| Submit::new(SessionId(i % 4), vec![0.1 * (i % 7) as f64, 0.5], (i % 2) as usize))
+            .collect();
+        outcomes(first.try_submit(&batch).unwrap());
+        let report = first.shutdown();
+        assert_eq!(report.snapshots.len(), 4);
+
+        // Second generation picks up exactly where the first stopped...
+        let second = StreamServer::with_options(
+            template(),
+            config,
+            ServeOptions::default().with_restore(report.snapshots),
+        )
+        .expect("checkpoints match the template");
+        outcomes(second.try_submit(&batch).unwrap());
+        let report = second.shutdown();
+        assert_eq!(report.snapshots.len(), 4);
+        // ...so step counts accumulate across generations.
+        assert_eq!(report.snapshots.iter().map(|s| s.steps).sum::<u64>(), 80);
+        assert_eq!(report.metrics.iter().map(|m| m.sessions_restored).sum::<u64>(), 4);
+        assert!(report.metrics.iter().all(|m| m.worker_restarts == 0));
+
+        // ...and a snapshot stripped of its checkpoint is refused up front.
+        let mut snapshot = second_generation_snapshot();
+        snapshot.checkpoint = None;
+        let missing = StreamServer::with_options(
+            template(),
+            config,
+            ServeOptions::default().with_restore(vec![snapshot]),
+        );
+        assert!(matches!(missing, Err(ServeError::MissingCheckpoint { .. })));
+    }
+
+    fn second_generation_snapshot() -> SessionSnapshot {
+        let server = StreamServer::new(template(), ServeConfig::default().with_shards(1));
+        outcomes(server.try_submit(&[Submit::new(SessionId(1), vec![0.2, 0.4], 0)]).unwrap());
+        let mut report = server.shutdown();
+        report.snapshots.pop().expect("one session")
+    }
+
+    #[test]
+    fn incompatible_checkpoint_is_refused_at_construction() {
+        let snapshot = second_generation_snapshot();
+        let wide = SessionTemplate::new(3, 2, FicsumConfig::default(), Variant::ErrorRate).unwrap();
+        let result = StreamServer::with_options(
+            wide,
+            ServeConfig::default(),
+            ServeOptions::default().with_restore(vec![snapshot]),
+        );
+        match result {
+            Err(ServeError::IncompatibleCheckpoint { session, .. }) => {
+                assert_eq!(session, SessionId(1));
+            }
+            other => panic!("expected IncompatibleCheckpoint, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn submit_with_retry_gives_up_with_the_last_refusal() {
+        let server = StreamServer::new(
+            template(),
+            ServeConfig::default().with_shards(1).with_queue_capacity(1),
+        );
+        let first = server.try_submit(&[Submit::new(SessionId(0), vec![0.1, 0.2], 0)]).unwrap();
+        // A 2-request batch can never fit the capacity-1 queue, so every
+        // retry observes Overloaded no matter how fast the worker drains.
+        let oversize: Vec<Submit> =
+            (0..2).map(|i| Submit::new(SessionId(0), vec![0.1, 0.2], i % 2)).collect();
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_initial_backoff(Duration::from_micros(100))
+            .with_max_backoff(Duration::from_micros(200));
+        let result = server.submit_with_retry(&oversize, policy);
+        assert_eq!(result.map(|_| ()), Err(ServeError::Overloaded { shard: 0 }));
+        assert_eq!(first.wait().len(), 1);
+    }
+
+    #[test]
+    fn submit_with_deadline_waits_for_space_and_succeeds() {
+        let server = StreamServer::new(
+            template(),
+            ServeConfig::default().with_shards(1).with_queue_capacity(4),
+        );
+        let batch: Vec<Submit> =
+            (0..4).map(|i| Submit::new(SessionId(i), vec![0.3, 0.6], (i % 2) as usize)).collect();
+        // Saturate, then submit more with a generous deadline: the worker
+        // drains, space frees, and the blocked submit lands.
+        let mut replies = Vec::new();
+        for _ in 0..8 {
+            replies.push(
+                server
+                    .submit_with_deadline(&batch, Duration::from_secs(30))
+                    .expect("worker drains within the deadline"),
+            );
+        }
+        let total: usize = replies.into_iter().map(|reply| outcomes(reply).len()).sum();
+        assert_eq!(total, 32);
+        // A batch that can never fit (5 > capacity 4) fails with
+        // DeadlineExceeded, enqueueing nothing.
+        let huge: Vec<Submit> =
+            (0..5).map(|_| Submit::new(SessionId(0), vec![0.3, 0.6], 0)).collect();
+        let result = server.submit_with_deadline(&huge, Duration::from_millis(50));
+        assert_eq!(result.map(|_| ()), Err(ServeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn drain_and_shutdown_return_each_snapshot_exactly_once() {
+        let server = StreamServer::new(
+            template(),
+            ServeConfig::default().with_shards(1).with_max_sessions_per_shard(2),
+        );
+        // 5 sessions through a 2-session table: 3 capacity evictions.
+        for id in 0..5u64 {
+            outcomes(server.try_submit(&[Submit::new(SessionId(id), vec![0.2, 0.8], 0)]).unwrap());
+        }
+        let drained = server.drain_snapshots();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.iter().all(|s| s.reason == EvictReason::Capacity));
+        assert!(server.drain_snapshots().is_empty(), "store was emptied");
+        let report = server.shutdown();
+        assert_eq!(report.snapshots.len(), 2, "only the still-live sessions remain");
+        let mut all: Vec<u64> = drained
+            .iter()
+            .chain(report.snapshots.iter())
+            .map(|s| s.session.0)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "exactly once, no loss, no duplication");
+    }
+
+    /// A session whose pipeline panics poisons only itself: siblings keep
+    /// serving, the panicking session's requests complete with
+    /// `SessionPoisoned`, and its quarantine snapshot is reported. Runs
+    /// without the fault-injection feature by planting a panicking
+    /// classifier through the template's factory hook.
+    #[test]
+    fn panicking_session_poisons_only_itself() {
+        use ficsum_classifiers::{Classifier, ClassifierFactory, GaussianNaiveBayes};
+
+        #[derive(Clone)]
+        struct PoisonPill {
+            inner: GaussianNaiveBayes,
+            trained: u32,
+        }
+        impl Classifier for PoisonPill {
+            fn predict(&self, x: &[f64]) -> usize {
+                self.inner.predict(x)
+            }
+            fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+                self.inner.predict_proba(x)
+            }
+            fn train(&mut self, x: &[f64], y: usize) {
+                self.trained += 1;
+                if self.trained > 3 {
+                    panic!("poison pill classifier");
+                }
+                self.inner.train(x, y);
+            }
+            fn n_classes(&self) -> usize {
+                self.inner.n_classes()
+            }
+            fn n_features(&self) -> usize {
+                self.inner.n_features()
+            }
+            fn n_trained(&self) -> usize {
+                self.inner.n_trained()
+            }
+            fn reset(&mut self) {
+                self.inner.reset()
+            }
+            fn clone_box(&self) -> Box<dyn Classifier> {
+                Box::new(self.clone())
+            }
+        }
+        fn pill_factory() -> Box<dyn ClassifierFactory> {
+            Box::new(|| {
+                Box::new(PoisonPill { inner: GaussianNaiveBayes::new(2, 2), trained: 0 })
+                    as Box<dyn Classifier>
+            })
+        }
+
+        let template = SessionTemplate::new(2, 2, FicsumConfig::default(), Variant::ErrorRate)
+            .unwrap()
+            .with_classifier_factory(pill_factory);
+        let server = StreamServer::new(template, ServeConfig::default().with_shards(1));
+        // Two sessions on one shard; both trip their pill on the 4th learn.
+        // Feed session 1 past the pill, keep session 2 healthy below it.
+        let mut batch = Vec::new();
+        for i in 0..6 {
+            batch.push(Submit::new(SessionId(1), vec![0.2, 0.4], (i % 2) as usize));
+        }
+        batch.push(Submit::new(SessionId(2), vec![0.3, 0.1], 0));
+        let results = server.try_submit(&batch).unwrap().wait();
+        // First 3 learns succeed, 4th panics; everything after for session 1
+        // is refused as poisoned, while session 2 still serves.
+        assert!(results[..3].iter().all(|r| r.is_ok()));
+        assert!(results[3..6]
+            .iter()
+            .all(|r| *r == Err(StepError::SessionPoisoned { session: SessionId(1) })));
+        assert!(results[6].is_ok(), "sibling session keeps serving");
+        let report = server.shutdown();
+        let poisoned: Vec<_> =
+            report.snapshots.iter().filter(|s| s.reason == EvictReason::Poisoned).collect();
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!(poisoned[0].session, SessionId(1));
+        assert_eq!(poisoned[0].steps, 3, "last-good state: three completed steps");
+        assert_eq!(report.metrics[0].sessions_poisoned, 1);
+        assert_eq!(report.metrics[0].worker_restarts, 0, "panic stayed session-scoped");
+        assert_eq!(report.metrics[0].processed, 7, "every slot completed");
     }
 }

@@ -1,16 +1,26 @@
-//! Session identity, lifecycle, and eviction snapshots.
+//! Session identity, lifecycle, eviction snapshots and quarantine.
 //!
 //! Each shard worker owns a [`SessionTable`]: session id → live [`Ficsum`]
 //! pipeline. Sessions are created lazily from the server's shared
 //! [`ficsum_core::SessionTemplate`] on first sight and evicted
-//! least-recently-used when the shard's capacity cap is reached. Eviction
-//! is destructive for the pipeline (classifiers are not serialisable), so
-//! the table captures a [`SessionSnapshot`] of the learned state's summary
-//! — step count, counters, repository contents — before dropping it.
+//! least-recently-used when the shard's capacity cap is reached.
+//!
+//! Eviction drops the live pipeline, but it is no longer lossy: every
+//! snapshot carries a full [`SessionCheckpoint`] — repository fingerprints,
+//! classifiers, weights, detector, frame ring — from which
+//! [`ficsum_core::SessionTemplate::restore`] rehydrates a bit-identical
+//! pipeline, on this server or a fresh one.
+//!
+//! A session whose pipeline panics is **quarantined**: its entry is
+//! removed (with a best-effort snapshot of its state), and further
+//! requests for it complete with [`crate::StepError::SessionPoisoned`]
+//! instead of silently re-creating a blank session — recreating would make
+//! a fault look like a brand-new stream and corrupt the caller's picture
+//! of what the session has learned.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use ficsum_core::{ConceptId, Ficsum, FicsumStats, SessionTemplate, StepOutcome};
+use ficsum_core::{ConceptId, Ficsum, FicsumStats, SessionCheckpoint, SessionTemplate, StepOutcome};
 
 /// Identifies one logical stream (one pipeline) within a server.
 ///
@@ -28,21 +38,32 @@ impl std::fmt::Display for SessionId {
 
 /// Why a snapshot was taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EvictReason {
     /// The shard hit its session cap and this was the least recently used.
     Capacity,
     /// The server shut down with the session still live.
     Shutdown,
+    /// The session's pipeline panicked and was quarantined. The snapshot
+    /// holds the state captured *after* the panic was caught — clean when
+    /// the panic fired before the pipeline mutated (as injected faults do),
+    /// otherwise the best available capture (`checkpoint` is `None` if even
+    /// capturing panicked).
+    Poisoned,
 }
 
-/// Summary of a session's learned state, captured when its pipeline is
-/// dropped.
+/// Capture of a session's learned state, taken when its live pipeline is
+/// dropped (eviction, shutdown or quarantine).
+///
+/// The summary fields are cheap to inspect; `checkpoint` is the full state
+/// and is what [`ficsum_core::SessionTemplate::restore`] (or
+/// [`crate::ServeOptions::with_restore`]) rehydrates from.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct SessionSnapshot {
     /// The evicted session.
     pub session: SessionId,
-    /// Observations this session processed.
+    /// Observations this session processed (cumulative across restores).
     pub steps: u64,
     /// The pipeline's lifetime counters.
     pub stats: FicsumStats,
@@ -52,6 +73,10 @@ pub struct SessionSnapshot {
     pub stored_concepts: Vec<ConceptId>,
     /// What triggered the snapshot.
     pub reason: EvictReason,
+    /// Full state capture for rehydration. Always present for capacity and
+    /// shutdown snapshots; `None` only when a quarantined pipeline was too
+    /// broken to capture (the capture itself panicked).
+    pub checkpoint: Option<SessionCheckpoint>,
 }
 
 struct Entry {
@@ -61,6 +86,15 @@ struct Entry {
 }
 
 fn snapshot(session: SessionId, entry: &Entry, reason: EvictReason) -> SessionSnapshot {
+    snapshot_with(session, entry, reason, Some(entry.pipeline.checkpoint()))
+}
+
+fn snapshot_with(
+    session: SessionId,
+    entry: &Entry,
+    reason: EvictReason,
+    checkpoint: Option<SessionCheckpoint>,
+) -> SessionSnapshot {
     let mut stored: Vec<ConceptId> = entry.pipeline.repository().iter().map(|e| e.id).collect();
     stored.sort_unstable();
     SessionSnapshot {
@@ -70,12 +104,15 @@ fn snapshot(session: SessionId, entry: &Entry, reason: EvictReason) -> SessionSn
         active_concept: entry.pipeline.active_concept(),
         stored_concepts: stored,
         reason,
+        checkpoint,
     }
 }
 
-/// The per-shard map of live sessions with LRU eviction.
+/// The per-shard map of live sessions with LRU eviction and a quarantine
+/// set for poisoned sessions.
 pub(crate) struct SessionTable {
     sessions: HashMap<SessionId, Entry>,
+    quarantined: HashSet<SessionId>,
     capacity: usize,
     tick: u64,
 }
@@ -88,11 +125,21 @@ pub(crate) struct Touched {
 
 impl SessionTable {
     pub(crate) fn new(capacity: usize) -> Self {
-        Self { sessions: HashMap::new(), capacity: capacity.max(1), tick: 0 }
+        Self {
+            sessions: HashMap::new(),
+            quarantined: HashSet::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Whether `session` has been quarantined after a pipeline panic.
+    pub(crate) fn is_quarantined(&self, session: SessionId) -> bool {
+        self.quarantined.contains(&session)
     }
 
     /// Ensures `session` is live, creating it from `template` (and evicting
@@ -106,23 +153,44 @@ impl SessionTable {
             entry.last_used = self.tick;
             return Touched { created: false, evicted: None };
         }
-        let evicted = if self.sessions.len() >= self.capacity {
-            let lru = self
-                .sessions
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(id, _)| *id)
-                .expect("table at capacity is non-empty");
-            let entry = self.sessions.remove(&lru).expect("lru key came from the map");
-            Some(snapshot(lru, &entry, EvictReason::Capacity))
-        } else {
-            None
-        };
+        let evicted = self.evict_lru_if_full();
         self.sessions.insert(
             session,
             Entry { pipeline: template.instantiate(), steps: 0, last_used: self.tick },
         );
         Touched { created: true, evicted }
+    }
+
+    /// Admits a session rehydrated from a checkpoint (server-startup
+    /// restore). The restored pipeline resumes from the checkpoint's step
+    /// count, so later snapshots keep counting cumulatively. Evicts LRU
+    /// exactly like creation does; restoring also clears any quarantine
+    /// mark (the restored state predates the poisoning).
+    pub(crate) fn restore(
+        &mut self,
+        session: SessionId,
+        steps: u64,
+        pipeline: Ficsum,
+    ) -> Option<SessionSnapshot> {
+        self.tick += 1;
+        self.quarantined.remove(&session);
+        let evicted = self.evict_lru_if_full();
+        self.sessions.insert(session, Entry { pipeline, steps, last_used: self.tick });
+        evicted
+    }
+
+    fn evict_lru_if_full(&mut self) -> Option<SessionSnapshot> {
+        if self.sessions.len() < self.capacity {
+            return None;
+        }
+        let lru = self
+            .sessions
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(id, _)| *id)
+            .expect("table at capacity is non-empty");
+        let entry = self.sessions.remove(&lru).expect("lru key came from the map");
+        Some(snapshot(lru, &entry, EvictReason::Capacity))
     }
 
     /// Feeds one observation to a live session. Callers must `touch` first.
@@ -133,8 +201,34 @@ impl SessionTable {
         label: usize,
     ) -> StepOutcome {
         let entry = self.sessions.get_mut(&session).expect("session touched before process");
+        // Count the step only once it completes: if the pipeline panics
+        // mid-step, the quarantine snapshot must report the number of
+        // *finished* observations, matching its checkpoint.
+        let outcome = entry.pipeline.process(features, label);
         entry.steps += 1;
-        entry.pipeline.process(features, label)
+        outcome
+    }
+
+    /// Removes `session` after its pipeline panicked and marks it
+    /// quarantined; further [`SessionTable::is_quarantined`] checks return
+    /// true until the id is restored. Returns a [`EvictReason::Poisoned`]
+    /// snapshot of the captured state, or `None` if the session was not
+    /// live (poisoned before its entry existed).
+    ///
+    /// The checkpoint capture runs under its own panic guard: a pipeline
+    /// broken enough that even *reading* its state panics still quarantines
+    /// cleanly, with `checkpoint: None`.
+    pub(crate) fn quarantine(&mut self, session: SessionId) -> Option<SessionSnapshot> {
+        self.quarantined.insert(session);
+        let entry = self.sessions.remove(&session)?;
+        let snap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            snapshot(session, &entry, EvictReason::Poisoned)
+        }))
+        .unwrap_or_else(|_| snapshot_with(session, &entry, EvictReason::Poisoned, None));
+        // Dropping a half-broken pipeline may itself panic; never let that
+        // take the worker down with it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(entry)));
+        Some(snap)
     }
 
     /// Snapshots and drops every live session (shutdown path), ascending by
@@ -191,5 +285,51 @@ mod tests {
         assert_eq!(ids, vec![1, 3, 5]);
         assert!(snaps.iter().all(|s| s.reason == EvictReason::Shutdown && s.steps == 1));
         assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn snapshots_carry_restorable_checkpoints() {
+        let template = template();
+        let mut table = SessionTable::new(4);
+        table.touch(SessionId(7), &template);
+        for i in 0..40 {
+            table.process(SessionId(7), &[0.1 * (i % 9) as f64, 0.5], i % 2);
+        }
+        let snaps = table.drain_all();
+        let checkpoint = snaps[0].checkpoint.as_ref().expect("shutdown snapshot has state");
+        assert_eq!(checkpoint.steps(), 40);
+        let mut restored = template.restore(checkpoint).expect("same template restores");
+        let mut reference = template.instantiate();
+        for i in 0..40 {
+            reference.process(&[0.1 * (i % 9) as f64, 0.5], i % 2);
+        }
+        for i in 0..60 {
+            let x = [0.07 * (i % 11) as f64, 0.3];
+            let y = (i % 3 == 0) as usize;
+            assert_eq!(restored.process(&x, y), reference.process(&x, y));
+        }
+    }
+
+    #[test]
+    fn quarantine_removes_and_marks_the_session() {
+        let template = template();
+        let mut table = SessionTable::new(4);
+        table.touch(SessionId(1), &template);
+        table.process(SessionId(1), &[0.1, 0.2], 0);
+        table.touch(SessionId(2), &template);
+        assert!(!table.is_quarantined(SessionId(1)));
+        let snap = table.quarantine(SessionId(1)).expect("live session yields a snapshot");
+        assert_eq!(snap.reason, EvictReason::Poisoned);
+        assert_eq!(snap.steps, 1);
+        assert!(snap.checkpoint.is_some(), "healthy state is captured");
+        assert!(table.is_quarantined(SessionId(1)));
+        assert_eq!(table.len(), 1, "sibling session survives");
+        // Quarantining an id that never went live still marks it.
+        assert!(table.quarantine(SessionId(99)).is_none());
+        assert!(table.is_quarantined(SessionId(99)));
+        // Restoring clears the mark.
+        let pipeline = template.instantiate();
+        table.restore(SessionId(1), 0, pipeline);
+        assert!(!table.is_quarantined(SessionId(1)));
     }
 }

@@ -1,0 +1,61 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `std::sync::Mutex` is *poisoned* when a thread panics while holding
+//! it. Before the supervision layer existed this crate treated poison as
+//! unrecoverable (`lock().expect(..)`), which let one panic cascade: the
+//! panicking worker poisons a shared lock, then every client touching that
+//! lock — `metrics()`, `drain_snapshots()`, even `BatchReply::wait` —
+//! panics too.
+//!
+//! Recovery is sound here because every critical section in this crate is
+//! *panic-consistent*: the protected state's invariants hold at every point
+//! a panic can escape (pushes happen after capacity checks, counters are
+//! plain increments, reply slots are filled before `pending` is
+//! decremented). Poison therefore carries no information beyond "some
+//! thread panicked" — which worker supervision already observes and
+//! handles — so these helpers strip the flag and hand back the guard.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks, recovering from poison.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait`, recovering from poison.
+pub(crate) fn wait_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout`, recovering from poison.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let mutex = Arc::new(Mutex::new(7usize));
+        let poisoner = Arc::clone(&mutex);
+        std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(mutex.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*lock_recover(&mutex), 7);
+    }
+}

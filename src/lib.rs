@@ -70,8 +70,8 @@ pub mod prelude {
         AdaptiveRandomForest, Classifier, ClassifierFactory, GaussianNaiveBayes, HoeffdingTree,
     };
     pub use ficsum_core::{
-        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, FicsumStats, SessionTemplate,
-        StepOutcome, Variant,
+        ConfigError, Ficsum, FicsumBuilder, FicsumConfig, FicsumStats, RestoreError,
+        SessionCheckpoint, SessionTemplate, StepOutcome, Variant,
     };
     pub use ficsum_drift::{
         Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
@@ -91,8 +91,9 @@ pub mod prelude {
         MonotonicClock, NullRecorder, Recorder, SharedRecorder, Stage, StreamEvent,
     };
     pub use ficsum_serve::{
-        BatchReply, EvictReason, ServeConfig, ServeError, ServeReport, SessionId,
-        SessionSnapshot, ShardMetrics, StreamServer, Submit,
+        BatchReply, EvictReason, RecorderFactory, RetryPolicy, ServeConfig, ServeError,
+        ServeOptions, ServeReport, SessionId, SessionSnapshot, ShardMetrics, StepError,
+        StepResult, StreamServer, Submit,
     };
     pub use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
     pub use ficsum_stream::{

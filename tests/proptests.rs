@@ -301,6 +301,46 @@ fn template_sessions_replay_bit_identical_to_fresh_builds() {
 }
 
 #[test]
+fn checkpoint_restore_replays_bit_identical_for_a_thousand_steps() {
+    use ficsum::core::{FicsumConfig, SessionTemplate, Variant};
+    // Fault-tolerant serving's restore contract: a pipeline checkpointed at
+    // an arbitrary point and rehydrated through its template must be
+    // indistinguishable from the uninterrupted original — same outcomes,
+    // same stats — over a long shared tail. Random configs and random
+    // checkpoint positions probe the capture across warm-up, drift, and
+    // recurrence phases.
+    for case in 0..8u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xC4EC_2000 + case);
+        let config = FicsumConfig::default()
+            .with_window_size(rng.random_range(30..80usize))
+            .with_fingerprint_gap(rng.random_range(3..10usize))
+            .with_repository_gap(rng.random_range(40..90usize));
+        let template = SessionTemplate::new(3, 2, config, Variant::Full)
+            .expect("sampled configs are within validated ranges");
+        let mut original = template.instantiate();
+        let cut = rng.random_range(50..700usize);
+        for _ in 0..cut {
+            let x: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = rng.random_range(0..2usize);
+            original.process(&x, y);
+        }
+        let checkpoint = original.checkpoint();
+        assert_eq!(checkpoint.steps(), cut as u64);
+        let mut restored = template
+            .restore(&checkpoint)
+            .expect("a checkpoint from this template always restores");
+        for step in 0..1_000usize {
+            let x: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = rng.random_range(0..2usize);
+            let a = original.process(&x, y);
+            let b = restored.process(&x, y);
+            assert_eq!(a, b, "case {case} (cut {cut}) diverged at step {step}");
+        }
+        assert_eq!(original.stats(), restored.stats(), "case {case} stats diverged");
+    }
+}
+
+#[test]
 fn concept_fingerprint_mean_is_bounded_by_inputs() {
     for_cases("concept_fingerprint_mean_is_bounded_by_inputs", |rng| {
         let rows = rng.random_range(1..50usize);

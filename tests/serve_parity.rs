@@ -68,8 +68,8 @@ fn served_outcomes_are_bit_identical_to_sequential_reference() {
     let mut served: Vec<Vec<StepOutcome>> =
         (0..SESSIONS).map(|_| Vec::with_capacity(STEPS)).collect();
     for reply in replies {
-        for (s, outcome) in reply.wait().into_iter().enumerate() {
-            served[s].push(outcome);
+        for (s, result) in reply.wait().into_iter().enumerate() {
+            served[s].push(result.expect("no faults in this run"));
         }
     }
 
@@ -123,6 +123,7 @@ fn overloaded_submit_rejects_whole_batch_and_leaves_nothing_behind() {
     let within: Vec<Submit> = oversized[..8].to_vec();
     let outcomes = server.try_submit(&within).expect("8 requests fit capacity 8").wait();
     assert_eq!(outcomes.len(), 8);
+    assert!(outcomes.iter().all(|r| r.is_ok()));
     let report = server.shutdown();
     assert_eq!(report.metrics[0].enqueued, 8);
     assert_eq!(report.metrics[0].processed, 8);
