@@ -23,25 +23,19 @@ echo "== fault-injection tests (ficsum-serve) =="
 # crate with the fail-point hooks and runs the serve_faults harness.
 cargo test -q -p ficsum-serve --features fault-injection
 
-echo "== deprecated accessor allowlist =="
-# The legacy post-build setters on `Ficsum` are deprecated shims over
-# `FicsumBuilder` options (DESIGN.md "Serving & sharding" → "Deprecation
-# schedule"); the legacy trace accessors and window `to_vec` clones were
-# removed outright. Every remaining deprecated use must carry
-# #[allow(deprecated)], and those annotations may only live in the files
-# below: the eval `evaluate` shim and its re-export, and the baselines
-# adapter whose `attach_recorder` contract predates the builder options.
-# Anything new must configure at construction time instead.
+echo "== no deprecated API surface =="
+# Every scheduled deprecation has been removed (DESIGN.md "Deprecation
+# schedule"): the 0.4.0 post-build `set_*` shims and the legacy eval
+# `evaluate` shim are gone, so the tree must compile with `-D deprecated`
+# and contain no `allow(deprecated)` escape hatches at all.
 RUSTFLAGS="-D deprecated" cargo check -q --workspace --all-targets
-allowlist='^\./crates/eval/src/runner\.rs$|^\./crates/eval/src/lib\.rs$|^\./src/lib\.rs$|^\./crates/baselines/src/ficsum_adapter\.rs$'
-offenders=$(grep -rlE 'allow\(deprecated\)' --include='*.rs' ./src ./crates ./tests ./examples \
-  | grep -vE "$allowlist" || true)
+offenders=$(grep -rlE 'allow\(deprecated\)' --include='*.rs' ./src ./crates ./tests ./examples || true)
 if [ -n "$offenders" ]; then
-  echo "allow(deprecated) outside the allowlist (migrate to the Recorder API):" >&2
+  echo "allow(deprecated) found; the workspace carries no deprecated API:" >&2
   echo "$offenders" >&2
   exit 1
 fi
-echo "allowlist clean"
+echo "no deprecated items, no allowances"
 
 echo "== perf smoke (stream_throughput vs committed baseline) =="
 # Release-mode end-to-end throughput on the default synthetic stream,
@@ -69,5 +63,19 @@ if [ ! -f BENCH_serve.json ]; then
 fi
 cargo run --release -q -p ficsum-bench --bin serve_throughput -- \
   --repeat 3 --check BENCH_serve.json --min-ratio 0.8
+
+echo "== perf smoke (net_throughput vs committed baseline) =="
+# End-to-end throughput through the wire protocol: client encode →
+# loopback TCP → frame decode → shard queues → reply → client decode
+# (DESIGN.md "Network serving & wire protocol"). Fails when steps/sec
+# drops >20% below the committed BENCH_net.json on the same machine.
+if [ ! -f BENCH_net.json ]; then
+  echo "BENCH_net.json missing; record it with:" >&2
+  echo "  cargo run --release -p ficsum-bench --bin net_throughput -- \\" >&2
+  echo "    --repeat 5 --out BENCH_net.json" >&2
+  exit 1
+fi
+cargo run --release -q -p ficsum-bench --bin net_throughput -- \
+  --repeat 3 --check BENCH_net.json --min-ratio 0.8
 
 echo "ci.sh: all gates passed"

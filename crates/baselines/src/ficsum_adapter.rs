@@ -54,10 +54,9 @@ impl EvaluatedSystem for FicsumSystem {
 
     fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) -> bool {
         // The eval contract attaches recorders to an already-built system;
-        // the shim is the supported bridge until EvaluatedSystem grows a
-        // construction-time hook.
-        #[allow(deprecated)]
-        self.inner.set_recorder(recorder);
+        // `Ficsum::attach_recorder` is the supported post-build hook for
+        // exactly this driver shape.
+        self.inner.attach_recorder(recorder);
         true
     }
 

@@ -168,7 +168,7 @@ pub struct Ficsum {
     /// the first multi-candidate drift and invalidated when the engine's
     /// configuration changes.
     scan_pool: Vec<FingerprintEngine>,
-    /// Worker threads for the recurrence scan (mirrors `set_parallelism`).
+    /// Worker threads for the recurrence scan (mirrors `FicsumBuilder::parallelism`).
     scan_threads: usize,
     t: u64,
     pending_recheck: Option<PendingRecheck>,
@@ -377,52 +377,22 @@ impl Ficsum {
         &self.engine
     }
 
-    /// Attaches an observability recorder (see
-    /// [`crate::variant::FicsumBuilder::recorder`]): every event, counter,
-    /// gauge and stage span the pipeline produces is delivered to it. The
-    /// default is [`NullRecorder`], whose calls compile to nothing.
+    /// Attaches an observability recorder: every event, counter, gauge and
+    /// stage span the pipeline produces is delivered to it. The default is
+    /// [`NullRecorder`], whose calls compile to nothing.
+    ///
+    /// Prefer configuring at construction with
+    /// [`crate::variant::FicsumBuilder::recorder`]; this post-build hook
+    /// exists for drivers that receive an already-built pipeline and attach
+    /// observability afterwards (the `ficsum-eval` runner contract).
     ///
     /// Attaching an *enabled* recorder also switches on the fingerprint
     /// engine's per-source extraction timing (shared clock); attaching a
     /// disabled one switches it off again.
-    pub(crate) fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) {
+    pub fn attach_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.engine
             .set_clock(recorder.enabled().then(|| Arc::clone(&self.clock)));
         self.recorder = recorder;
-    }
-
-    /// Deprecated post-build shim for builder-time configuration.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `FicsumBuilder::parallelism`; \
-                a built `Ficsum` is immutable-by-default"
-    )]
-    pub fn set_parallelism(&mut self, threads: usize) {
-        self.configure_parallelism(threads);
-    }
-
-    /// Deprecated post-build shim for builder-time configuration.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `FicsumBuilder::incremental_moments`; \
-                a built `Ficsum` is immutable-by-default"
-    )]
-    pub fn set_incremental_moments(&mut self, on: bool) {
-        self.configure_incremental_moments(on);
-    }
-
-    /// Deprecated post-build shim for builder-time configuration.
-    ///
-    /// To read results back after a run, attach a shared handle
-    /// ([`ficsum_obs::shared`]) at build time and keep the other clone, or
-    /// downcast [`Ficsum::recorder`] via [`Recorder::as_any`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `FicsumBuilder::recorder`; \
-                a built `Ficsum` is immutable-by-default"
-    )]
-    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
-        self.attach_recorder(recorder);
     }
 
     /// The attached recorder.
@@ -444,16 +414,6 @@ impl Ficsum {
         if self.recorder.enabled() {
             self.engine.set_clock(Some(Arc::clone(&self.clock)));
         }
-    }
-
-    /// Deprecated post-build shim for builder-time configuration.
-    #[deprecated(
-        since = "0.4.0",
-        note = "configure at construction with `FicsumBuilder::clock`; \
-                a built `Ficsum` is immutable-by-default"
-    )]
-    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
-        self.attach_clock(clock);
     }
 
     /// Single emission point for pipeline observations. `last_similarity`
@@ -675,7 +635,7 @@ impl Ficsum {
     ///
     /// Scoring a candidate — re-predict the window through its classifier,
     /// extract, compare — is independent per candidate, so with
-    /// [`Ficsum::set_parallelism`] > 1 candidates are fanned across a
+    /// [`crate::variant::FicsumBuilder::parallelism`] > 1 candidates are fanned across a
     /// scoped worker pool. Workers write disjoint slots that are merged in
     /// repository order, and the acceptance fold runs over the merged list
     /// exactly as the sequential loop would: the outcome is bit-identical
@@ -1206,7 +1166,7 @@ impl Ficsum {
 
         // Periodically surface the engine's cumulative per-source extraction
         // cost (enabled recorders share the framework clock with the
-        // engine, see `set_recorder`).
+        // engine, see `attach_recorder`).
         if self.recorder.enabled()
             && self.t.is_multiple_of(self.config.repository_gap as u64)
             && self.engine.timing_enabled()

@@ -64,8 +64,9 @@ impl Variant {
 ///
 /// Everything an instance can be configured with is a builder option; a
 /// built [`Ficsum`] is immutable-by-default (drive it with
-/// [`Ficsum::process`]). The former post-build setters survive as
-/// deprecated shims for one release.
+/// [`Ficsum::process`]). The 0.4.0 post-build `set_*` shims are gone; the
+/// one supported post-build hook is [`Ficsum::attach_recorder`], for
+/// drivers that receive an already-built pipeline.
 pub struct FicsumBuilder {
     n_features: usize,
     n_classes: usize,

@@ -25,8 +25,6 @@ pub use cf1::CoOccurrenceF1;
 pub use observability::{ObsSummary, StageCost};
 pub use report::{CellReport, ExperimentReport};
 pub use kappa::KappaEvaluator;
-#[allow(deprecated)]
-pub use runner::evaluate;
 pub use runner::{evaluate_with, EvaluatedSystem, RunOptions, RunResult};
 pub use stats::{friedman_test, mean_std, nemenyi_critical_difference, rank_rows, FriedmanOutcome};
 pub use table::{format_cell, Table};

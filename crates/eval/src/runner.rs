@@ -228,20 +228,6 @@ pub fn evaluate_with<S: EvaluatedSystem>(
     }
 }
 
-/// Drives `system` over `stream` prequentially and collects all metrics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `evaluate_with(system, stream, &RunOptions::new(n_classes))`, which also \
-            supports seeds, grace periods and recorder attachment"
-)]
-pub fn evaluate<S: EvaluatedSystem>(
-    system: &mut S,
-    stream: &mut dyn StreamSource,
-    n_classes: usize,
-) -> RunResult {
-    evaluate_with(system, stream, &RunOptions::new(n_classes))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,18 +324,6 @@ mod tests {
         assert!((r.accuracy - 0.5).abs() < 1e-9);
         assert_eq!(r.discrimination, Some(1.5));
         assert_eq!(r.n_models, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_new_path() {
-        let (mut s1, mut s2) = (stream(), stream());
-        let old = evaluate(&mut Oracle, &mut s1, 2);
-        let new = evaluate_with(&mut Oracle, &mut s2, &RunOptions::new(2));
-        assert_eq!(old.kappa, new.kappa);
-        assert_eq!(old.accuracy, new.accuracy);
-        assert_eq!(old.c_f1, new.c_f1);
-        assert_eq!(old.n_observations, new.n_observations);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Length-prefixed frame I/O and payload (de)serialisation.
+//!
+//! Integers are little-endian; floats are IEEE-754 bit patterns carried as
+//! `u64`, so feature vectors and similarity values cross the wire
+//! bit-exactly (a prerequisite for the loopback parity guarantee — the
+//! served pipeline must see the identical `f64`s a local one would).
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::{NetError, ProtocolError};
+use crate::wire::MAX_FRAME_LEN;
+
+/// One decoded frame: the kind byte and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Frame {
+    pub kind: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Writes `[len][kind][payload]` and flushes.
+pub(crate) fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+    let len = 1 + payload.len();
+    if len > MAX_FRAME_LEN as usize {
+        return Err(ProtocolError::FrameTooLarge { len: len as u32 }.into());
+    }
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    header[4] = kind;
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean close (EOF exactly on a frame
+/// boundary); EOF anywhere inside a frame is [`ProtocolError::Truncated`].
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_bytes)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len }.into());
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind).map_err(truncated)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    r.read_exact(&mut payload).map_err(truncated)?;
+    Ok(Some(Frame { kind: kind[0], payload }))
+}
+
+enum ReadOutcome {
+    Filled,
+    CleanEof,
+}
+
+/// `read_exact`, except EOF *before the first byte* is a clean close.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::CleanEof),
+            Ok(0) => return Err(ProtocolError::Truncated.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+fn truncated(e: std::io::Error) -> NetError {
+    if e.kind() == ErrorKind::UnexpectedEof {
+        ProtocolError::Truncated.into()
+    } else {
+        e.into()
+    }
+}
+
+/// Append-only payload builder.
+#[derive(Default)]
+pub(crate) struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a received payload. Every read is bounds-checked; running
+/// past the end or leaving bytes behind is a malformed frame, attributed
+/// to the frame kind the cursor was opened for.
+pub(crate) struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    kind: u8,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(kind: u8, buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0, kind }
+    }
+
+    fn malformed(&self) -> NetError {
+        ProtocolError::MalformedFrame { kind: self.kind }.into()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(self.malformed()),
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        self.take(n)
+    }
+
+    /// Declares decoding complete; trailing bytes are a malformed frame.
+    pub fn expect_end(&self) -> Result<(), NetError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(self.malformed())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x10, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, 0x30, &[]).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame { kind: 0x10, payload: vec![1, 2, 3] })
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Frame { kind: 0x30, payload: vec![] }));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "EOF on a boundary is clean");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x10, &[1, 2, 3, 4]).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            match read_frame(&mut r) {
+                Err(NetError::Protocol(ProtocolError::Truncated)) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_refused() {
+        let mut wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        wire.push(0x10);
+        match read_frame(&mut wire.as_slice()) {
+            Err(NetError::Protocol(ProtocolError::FrameTooLarge { .. })) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        let zero = 0u32.to_le_bytes();
+        match read_frame(&mut zero.as_slice()) {
+            Err(NetError::Protocol(ProtocolError::FrameTooLarge { len: 0 })) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_scalars_round_trip_bit_exactly() {
+        let mut w = PayloadWriter::new();
+        w.u8(7).u16(65500).u32(123456).u64(u64::MAX).f64(-0.1).f64(f64::NAN);
+        let buf = w.finish();
+        let mut r = PayloadReader::new(0x10, &buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65500);
+        assert_eq!(r.u32().unwrap(), 123456);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_and_trailing_payloads_are_malformed() {
+        let buf = [1u8, 2];
+        let mut r = PayloadReader::new(0x11, &buf);
+        assert!(matches!(
+            r.u32(),
+            Err(NetError::Protocol(ProtocolError::MalformedFrame { kind: 0x11 }))
+        ));
+        let mut r = PayloadReader::new(0x11, &buf);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err(), "one byte left behind");
+    }
+}

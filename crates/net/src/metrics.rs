@@ -1,0 +1,74 @@
+//! Front-end metrics, aggregated across connections.
+
+use std::sync::{Arc, Mutex};
+
+use ficsum_obs::{LatencyHistogram, Recorder};
+
+/// Builds one recorder per accepted connection, on the connection's own
+/// handler thread — recorders themselves need not be `Send`. The argument
+/// is the front-end-assigned connection ordinal (the `conn` field of the
+/// network [`ficsum_obs::StreamEvent`]s). Share one sink across
+/// connections by closing over an `Arc<Mutex<R>>`.
+pub type ConnRecorderFactory = Arc<dyn Fn(u64) -> Box<dyn Recorder> + Send + Sync>;
+
+/// Point-in-time view of a [`crate::NetServer`]'s transport health.
+///
+/// Complements [`ficsum_serve::ShardMetrics`] (which counts what happens
+/// *inside* the serving core) with what happens at the socket boundary.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct NetMetrics {
+    /// Connections that completed the handshake.
+    pub connections_opened: u64,
+    /// Connections that ended (goodbye, disconnect, violation, shutdown).
+    pub connections_closed: u64,
+    /// Batches accepted by the serving core and replied to.
+    pub batches_accepted: u64,
+    /// Batches refused eagerly and reported over the wire (`REJECTED`).
+    pub batches_rejected: u64,
+    /// Observations inside accepted batches.
+    pub requests_served: u64,
+    /// Connections dropped for violating the wire protocol.
+    pub protocol_errors: u64,
+    /// Submit-receipt → reply-written latency per accepted batch
+    /// (log-bucketed nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+/// Handler-side accumulator: one shared ledger all connection handlers
+/// fold into.
+#[derive(Default)]
+pub(crate) struct MetricsLedger {
+    inner: Mutex<NetMetrics>,
+}
+
+impl MetricsLedger {
+    pub fn snapshot(&self) -> NetMetrics {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    pub fn update(&self, f: impl FnOnce(&mut NetMetrics)) {
+        f(&mut self.inner.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_folds_updates() {
+        let ledger = MetricsLedger::default();
+        ledger.update(|m| {
+            m.connections_opened += 1;
+            m.batches_accepted += 2;
+            m.latency.record(1_000);
+        });
+        ledger.update(|m| m.connections_closed += 1);
+        let snap = ledger.snapshot();
+        assert_eq!(snap.connections_opened, 1);
+        assert_eq!(snap.connections_closed, 1);
+        assert_eq!(snap.batches_accepted, 2);
+        assert_eq!(snap.latency.count(), 1);
+    }
+}

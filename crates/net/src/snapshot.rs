@@ -1,0 +1,151 @@
+//! Wire form of session snapshots.
+//!
+//! Full [`SessionSnapshot`]s embed a [`ficsum_core::SessionCheckpoint`] —
+//! deliberately opaque state whose serialisation is out of scope for the
+//! wire protocol (checkpoints move between servers in-process, via
+//! [`ficsum_serve::ServeOptions::with_restore`]). What crosses the wire is
+//! the cheap-to-inspect summary: enough for a remote operator to see what
+//! each drained session learned and whether its state was capturable.
+
+use ficsum_serve::{EvictReason, SessionId, SessionSnapshot};
+
+use crate::codec::{PayloadReader, PayloadWriter};
+use crate::error::NetError;
+
+/// Client-side view of one drained [`SessionSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SnapshotSummary {
+    /// The session the snapshot captured.
+    pub session: SessionId,
+    /// Observations the session had processed.
+    pub steps: u64,
+    /// Why the snapshot was taken.
+    pub reason: EvictReason,
+    /// Concept active when the capture happened.
+    pub active_concept: u64,
+    /// Concepts in the session's repository at capture.
+    pub stored_concepts: u64,
+    /// Whether the snapshot carries a full restorable checkpoint
+    /// (server-side; checkpoints do not cross the wire).
+    pub has_checkpoint: bool,
+}
+
+impl SnapshotSummary {
+    /// The wire summary of a full server-side snapshot.
+    pub fn of(snapshot: &SessionSnapshot) -> Self {
+        Self {
+            session: snapshot.session,
+            steps: snapshot.steps,
+            reason: snapshot.reason,
+            active_concept: snapshot.active_concept as u64,
+            stored_concepts: snapshot.stored_concepts.len() as u64,
+            has_checkpoint: snapshot.checkpoint.is_some(),
+        }
+    }
+}
+
+fn reason_code(reason: EvictReason) -> u8 {
+    match reason {
+        EvictReason::Capacity => 0,
+        EvictReason::Shutdown => 1,
+        EvictReason::Poisoned => 2,
+        // Forward compatibility with reasons this build does not know.
+        _ => u8::MAX,
+    }
+}
+
+fn reason_of(code: u8) -> EvictReason {
+    match code {
+        0 => EvictReason::Capacity,
+        2 => EvictReason::Poisoned,
+        // Unknown codes degrade to the mildest reason rather than failing
+        // the whole summary frame.
+        _ => EvictReason::Shutdown,
+    }
+}
+
+/// Encodes a `SNAPSHOTS_REPLY` payload.
+pub(crate) fn encode_summaries(summaries: &[SnapshotSummary]) -> Vec<u8> {
+    let mut payload = PayloadWriter::new();
+    payload.u32(summaries.len() as u32);
+    for summary in summaries {
+        payload
+            .u64(summary.session.0)
+            .u64(summary.steps)
+            .u8(reason_code(summary.reason))
+            .u64(summary.active_concept)
+            .u64(summary.stored_concepts)
+            .u8(summary.has_checkpoint as u8);
+    }
+    payload.finish()
+}
+
+/// Decodes a `SNAPSHOTS_REPLY` payload.
+pub(crate) fn decode_summaries(kind: u8, payload: &[u8]) -> Result<Vec<SnapshotSummary>, NetError> {
+    let mut r = PayloadReader::new(kind, payload);
+    let n = r.u32()? as usize;
+    let mut summaries = Vec::with_capacity(n.min(payload.len() / 16));
+    for _ in 0..n {
+        let session = SessionId(r.u64()?);
+        let steps = r.u64()?;
+        let reason = reason_of(r.u8()?);
+        let active_concept = r.u64()?;
+        let stored_concepts = r.u64()?;
+        let has_checkpoint = r.u8()? != 0;
+        summaries.push(SnapshotSummary {
+            session,
+            steps,
+            reason,
+            active_concept,
+            stored_concepts,
+            has_checkpoint,
+        });
+    }
+    r.expect_end()?;
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::kind;
+
+    #[test]
+    fn summaries_round_trip() {
+        let summaries = vec![
+            SnapshotSummary {
+                session: SessionId(9),
+                steps: 1_000,
+                reason: EvictReason::Capacity,
+                active_concept: 3,
+                stored_concepts: 4,
+                has_checkpoint: true,
+            },
+            SnapshotSummary {
+                session: SessionId(u64::MAX),
+                steps: 0,
+                reason: EvictReason::Poisoned,
+                active_concept: 0,
+                stored_concepts: 1,
+                has_checkpoint: false,
+            },
+        ];
+        let payload = encode_summaries(&summaries);
+        let decoded = decode_summaries(kind::SNAPSHOTS_REPLY, &payload).unwrap();
+        assert_eq!(decoded, summaries);
+    }
+
+    #[test]
+    fn truncated_summaries_are_malformed() {
+        let payload = encode_summaries(&[SnapshotSummary {
+            session: SessionId(1),
+            steps: 5,
+            reason: EvictReason::Shutdown,
+            active_concept: 0,
+            stored_concepts: 0,
+            has_checkpoint: true,
+        }]);
+        assert!(decode_summaries(kind::SNAPSHOTS_REPLY, &payload[..payload.len() - 1]).is_err());
+    }
+}

@@ -164,6 +164,29 @@ pub enum StreamEvent {
         /// Observation count the restored pipeline resumed from.
         steps: u64,
     },
+    /// A network front-end accepted a client connection and completed the
+    /// protocol handshake.
+    ConnectionOpened {
+        /// Front-end-assigned connection ordinal.
+        conn: u64,
+    },
+    /// A network connection ended (client goodbye, disconnect, protocol
+    /// violation or front-end shutdown).
+    ConnectionClosed {
+        /// Front-end-assigned connection ordinal.
+        conn: u64,
+        /// Batches the connection successfully submitted over its life.
+        batches: u64,
+    },
+    /// A network front-end refused a submitted batch and reported the
+    /// refusal to the remote client (backpressure, validation or shutdown
+    /// surfaced over the wire instead of dropping the connection).
+    BatchRejected {
+        /// Connection whose batch was refused.
+        conn: u64,
+        /// Stable wire error code sent to the client.
+        code: u64,
+    },
 }
 
 impl StreamEvent {
@@ -186,6 +209,9 @@ impl StreamEvent {
             StreamEvent::SessionPoisoned { .. } => "session_poisoned",
             StreamEvent::WorkerRestarted { .. } => "worker_restarted",
             StreamEvent::SessionRestored { .. } => "session_restored",
+            StreamEvent::ConnectionOpened { .. } => "connection_opened",
+            StreamEvent::ConnectionClosed { .. } => "connection_closed",
+            StreamEvent::BatchRejected { .. } => "batch_rejected",
         }
     }
 }
@@ -225,5 +251,15 @@ mod tests {
             StreamEvent::SessionRestored { shard: 0, session: 9, steps: 1000 }.name(),
             "session_restored"
         );
+    }
+
+    #[test]
+    fn network_event_names_are_stable() {
+        assert_eq!(StreamEvent::ConnectionOpened { conn: 3 }.name(), "connection_opened");
+        assert_eq!(
+            StreamEvent::ConnectionClosed { conn: 3, batches: 12 }.name(),
+            "connection_closed"
+        );
+        assert_eq!(StreamEvent::BatchRejected { conn: 3, code: 1 }.name(), "batch_rejected");
     }
 }

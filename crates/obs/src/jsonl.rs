@@ -213,6 +213,27 @@ fn event_fields(t: u64, event: &StreamEvent, emit: &mut RecordSink<'_>) {
                 ("steps", JsonValue::Int(*steps)),
             ]);
         }
+        StreamEvent::ConnectionOpened { conn } => {
+            emit(&[kind, ts, name, ("conn", JsonValue::Int(*conn))]);
+        }
+        StreamEvent::ConnectionClosed { conn, batches } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("conn", JsonValue::Int(*conn)),
+                ("batches", JsonValue::Int(*batches)),
+            ]);
+        }
+        StreamEvent::BatchRejected { conn, code } => {
+            emit(&[
+                kind,
+                ts,
+                name,
+                ("conn", JsonValue::Int(*conn)),
+                ("code", JsonValue::Int(*code)),
+            ]);
+        }
         StreamEvent::DetectorWarning | StreamEvent::PlasticityReset => {
             emit(&[kind, ts, name]);
         }

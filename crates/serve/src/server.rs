@@ -284,7 +284,11 @@ pub struct StreamServer {
     queues: Vec<Arc<ShardQueue>>,
     stats: Vec<Arc<Mutex<ShardStats>>>,
     snapshots: Arc<Mutex<Vec<SessionSnapshot>>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker handles, drained exactly once by whichever caller closes the
+    /// server first. Behind a mutex so [`StreamServer::close`] works
+    /// through `&self`: a network front-end holding an `Arc<StreamServer>`
+    /// and a direct caller can race on shutdown safely.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl StreamServer {
@@ -366,7 +370,7 @@ impl StreamServer {
                     .expect("spawn shard worker")
             })
             .collect();
-        Ok(Self { template, config, queues, stats, snapshots, workers })
+        Ok(Self { template, config, queues, stats, snapshots, workers: Mutex::new(workers) })
     }
 
     /// The template sessions are stamped from.
@@ -544,18 +548,39 @@ impl StreamServer {
     /// not repeated (see its exactly-once contract). Dropping the server
     /// instead of calling `shutdown` still joins the workers but discards
     /// the undrained snapshots.
-    pub fn shutdown(mut self) -> ServeReport {
-        self.close_and_join();
+    pub fn shutdown(self) -> ServeReport {
+        self.shutdown_in_place()
+    }
+
+    /// [`StreamServer::shutdown`] through a shared reference, for callers
+    /// that cannot take the server by value — typically a network front-end
+    /// holding an `Arc<StreamServer>` next to a direct in-process caller.
+    ///
+    /// Safe to call from several threads, and idempotent with
+    /// [`StreamServer::shutdown`] and [`StreamServer::close`]: the workers
+    /// are joined exactly once (later callers wait for the first join to
+    /// finish, never double-join or deadlock), and every snapshot the
+    /// server produced appears in exactly one returned report — a second
+    /// concurrent `shutdown_in_place` gets whatever the first did not
+    /// drain, usually nothing.
+    pub fn shutdown_in_place(&self) -> ServeReport {
+        self.close();
         let snapshots = std::mem::take(&mut *lock_recover(&self.snapshots));
         let metrics = self.metrics();
         ServeReport { snapshots, metrics }
     }
 
-    fn close_and_join(&mut self) {
+    /// Closes every shard queue and joins the workers. Idempotent and
+    /// race-safe: closing an already-closed queue is a no-op, and the
+    /// worker handles are drained under a lock, so exactly one caller
+    /// joins each worker while concurrent callers block until the joins
+    /// complete — after `close` returns, *all* serving work has finished,
+    /// no matter who closed first.
+    pub fn close(&self) {
         for queue in &self.queues {
             queue.close();
         }
-        for worker in self.workers.drain(..) {
+        for worker in lock_recover(&self.workers).drain(..) {
             // Workers are supervised and exit cleanly even after panics; a
             // join error would mean the supervisor itself died, which has
             // no useful handling beyond not compounding the panic.
@@ -566,7 +591,7 @@ impl StreamServer {
 
 impl Drop for StreamServer {
     fn drop(&mut self) {
-        self.close_and_join();
+        self.close();
     }
 }
 
@@ -779,6 +804,42 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4], "exactly once, no loss, no duplication");
+    }
+
+    /// Regression: a network front-end holding an `Arc<StreamServer>` and
+    /// a direct caller can both reach shutdown; before `close` /
+    /// `shutdown_in_place` existed, shutdown consumed the server and the
+    /// loser of the race had no safe path. Both callers must terminate
+    /// (no deadlock, no double-join panic), and every session snapshot
+    /// must appear in exactly one of the two reports.
+    #[test]
+    fn shutdown_is_idempotent_across_racing_callers() {
+        let server = Arc::new(StreamServer::new(template(), ServeConfig::default().with_shards(2)));
+        for id in 0..6u64 {
+            outcomes(server.try_submit(&[Submit::new(SessionId(id), vec![0.4, 0.2], 0)]).unwrap());
+        }
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let server = server.clone();
+                std::thread::spawn(move || server.shutdown_in_place())
+            })
+            .collect();
+        let reports: Vec<ServeReport> =
+            racers.into_iter().map(|t| t.join().expect("no panic in shutdown race")).collect();
+        let mut all: Vec<u64> = reports
+            .iter()
+            .flat_map(|r| r.snapshots.iter().map(|s| s.session.0))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5], "each snapshot in exactly one report");
+        // The server is fully closed: further submits are refused, and yet
+        // another shutdown is a quiet no-op with an empty report.
+        assert_eq!(
+            server.try_submit(&[Submit::new(SessionId(0), vec![0.1, 0.2], 0)]).map(|_| ()),
+            Err(ServeError::ShutDown)
+        );
+        let again = server.shutdown_in_place();
+        assert!(again.snapshots.is_empty(), "snapshots were already drained exactly once");
     }
 
     /// A session whose pipeline panics poisons only itself: siblings keep

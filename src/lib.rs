@@ -46,6 +46,7 @@
 //! | [`eval`] | `ficsum-eval` | kappa, C-F1, Friedman/Nemenyi, the runner |
 //! | [`obs`] | `ficsum-obs` | recorders, stream events, stage spans, JSONL sinks |
 //! | [`serve`] | `ficsum-serve` | sharded multi-session serving, bounded queues, LRU eviction |
+//! | [`net`] | `ficsum-net` | wire protocol, TCP front-end, blocking client |
 
 pub use ficsum_baselines as baselines;
 pub use ficsum_classifiers as classifiers;
@@ -53,6 +54,7 @@ pub use ficsum_core as core;
 pub use ficsum_drift as drift;
 pub use ficsum_eval as eval;
 pub use ficsum_meta as meta;
+pub use ficsum_net as net;
 pub use ficsum_obs as obs;
 pub use ficsum_serve as serve;
 pub use ficsum_stream as stream;
@@ -63,7 +65,9 @@ pub use ficsum_synth as synth;
 /// Covers the whole public surface an application needs: the framework and
 /// its builder, configuration (and its error type), the fingerprint engine
 /// and extractor, classifiers, every drift detector, stream vocabulary, the
-/// repo-owned RNG, synthetic generators and the evaluation entry points.
+/// repo-owned RNG, synthetic generators, the evaluation entry points and
+/// the serving stack (in-process sharded serving plus the TCP front-end
+/// and client).
 pub mod prelude {
     pub use ficsum_baselines::{EnsembleSystem, FicsumSystem, Htcd, Rcd};
     pub use ficsum_classifiers::{
@@ -77,14 +81,16 @@ pub mod prelude {
         Adwin, Ddm, DetectorState, DriftDetector, Eddm, HddmA, PageHinkley,
     };
     pub use ficsum_drift::RecordedDetector;
-    #[allow(deprecated)]
-    pub use ficsum_eval::evaluate;
     pub use ficsum_eval::{
         evaluate_with, EvaluatedSystem, KappaEvaluator, ObsSummary, RunOptions, RunResult,
         StageCost,
     };
     pub use ficsum_meta::{
         FingerprintEngine, FingerprintExtractor, MetaFunction, SourceSelection,
+    };
+    pub use ficsum_net::{
+        ConnRecorderFactory, NetClient, NetError, NetMetrics, NetOptions, NetReport, NetServer,
+        ProtocolError, RemoteOutcome, RemoteStepResult, SnapshotSummary,
     };
     pub use ficsum_obs::{
         shared, Clock, DriftTrigger, InMemoryRecorder, JsonlSink, LatencyHistogram, ManualClock,

@@ -1,0 +1,341 @@
+//! The network layer's headline guarantee: sessions served over TCP are
+//! **bit-identical** to standalone pipelines stamped from the same
+//! template — the wire adds transport, never drift. Plus the protocol's
+//! robustness contracts: remote backpressure surfaces as a typed,
+//! retryable rejection (never a hang), malformed and truncated streams
+//! are refused without harming other connections, a client disconnect
+//! releases only that client, and a server shutdown mid-conversation is
+//! an orderly goodbye.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ficsum::net::wire::{self, kind};
+use ficsum::prelude::*;
+
+const SESSIONS: usize = 12;
+const CLIENTS: usize = 4;
+const SHARDS: usize = 3;
+const STEPS: usize = 600;
+
+/// Per-session observation tapes: distinct STAGGER seeds so sessions
+/// drift at different points and exercise independent repositories.
+fn tapes() -> Vec<Vec<(Vec<f64>, usize)>> {
+    (0..SESSIONS)
+        .map(|s| {
+            let mut stream = ficsum::synth::dataset_by_name("STAGGER", 300 + s as u64).unwrap();
+            (0..STEPS)
+                .map(|_| {
+                    let o = stream.next_observation().expect("synthetic streams are infinite");
+                    (o.features.clone(), o.label)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn template() -> SessionTemplate {
+    let config = FicsumConfig::default().with_window_size(50).with_fingerprint_gap(5);
+    SessionTemplate::new(3, 2, config, Variant::Full).unwrap()
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::default()
+        .with_shards(SHARDS)
+        .with_queue_capacity(SESSIONS * STEPS)
+        .with_max_sessions_per_shard(SESSIONS)
+}
+
+fn bind(server: Arc<StreamServer>) -> NetServer {
+    NetServer::bind("127.0.0.1:0", server).expect("bind loopback")
+}
+
+#[test]
+fn tcp_served_outcomes_are_bit_identical_to_sequential_reference() {
+    let tapes = tapes();
+    let template = template();
+    let core = Arc::new(StreamServer::new(template.clone(), serve_config()));
+    let net = bind(core);
+    let addr = net.local_addr();
+
+    // N clients, each owning a disjoint set of sessions, submitting
+    // concurrently over their own connections so handler threads and
+    // shard workers interleave freely.
+    let collected: Vec<Vec<(usize, Vec<RemoteOutcome>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let tapes = &tapes;
+                scope.spawn(move || {
+                    let mut client =
+                        NetClient::connect_expecting(addr, 3, 2).expect("handshake");
+                    assert_eq!(client.shards(), SHARDS);
+                    let mine: Vec<usize> =
+                        (0..SESSIONS).filter(|s| s % CLIENTS == c).collect();
+                    let mut outcomes: Vec<(usize, Vec<RemoteOutcome>)> =
+                        mine.iter().map(|&s| (s, Vec::with_capacity(STEPS))).collect();
+                    let mut cursors: Vec<_> = mine.iter().map(|&s| tapes[s].iter()).collect();
+                    // Batch one observation per owned session per wave:
+                    // cross-session batches fan out across shards.
+                    for _ in 0..STEPS {
+                        let wave: Vec<Submit> = mine
+                            .iter()
+                            .zip(cursors.iter_mut())
+                            .map(|(&s, tape)| {
+                                let (features, label) =
+                                    tape.next().expect("tapes hold STEPS entries");
+                                Submit::new(SessionId(s as u64), features.clone(), *label)
+                            })
+                            .collect();
+                        let results = client.submit(&wave).expect("queues sized for the run");
+                        for (slot, result) in results.into_iter().enumerate() {
+                            outcomes[slot].1.push(result.expect("no faults in this run"));
+                        }
+                    }
+                    client.shutdown().expect("orderly goodbye");
+                    outcomes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Reference: each session standalone, same template, same tape.
+    for per_client in collected {
+        for (s, served) in per_client {
+            assert_eq!(served.len(), STEPS);
+            let mut reference = template.instantiate();
+            for (step, (features, label)) in tapes[s].iter().enumerate() {
+                let expected = reference.process(features, *label);
+                let got = served[step];
+                assert_eq!(
+                    (got.prediction, got.drift, got.concept_switched, got.active_concept),
+                    (
+                        expected.prediction,
+                        expected.drift,
+                        expected.concept_switched,
+                        expected.active_concept as u64
+                    ),
+                    "session {s} diverged at step {step}"
+                );
+            }
+        }
+    }
+
+    let metrics = net.metrics();
+    assert_eq!(metrics.connections_opened, CLIENTS as u64);
+    assert_eq!(metrics.batches_accepted, (CLIENTS * STEPS) as u64);
+    assert_eq!(metrics.requests_served, (SESSIONS * STEPS) as u64);
+    assert_eq!(metrics.latency.count(), (CLIENTS * STEPS) as u64);
+
+    let report = net.shutdown();
+    assert_eq!(report.serve.snapshots.len(), SESSIONS, "every session snapshotted");
+    assert_eq!(report.net.connections_closed, CLIENTS as u64);
+}
+
+#[test]
+fn remote_overload_is_a_typed_rejection_not_a_hang() {
+    // A queue smaller than the batch itself: admission can never succeed,
+    // so the server must answer `Overloaded` immediately rather than hang
+    // the connection waiting for room that will never exist.
+    let config = ServeConfig::default().with_shards(1).with_queue_capacity(2);
+    let core = Arc::new(StreamServer::new(template(), config));
+    let net = bind(core);
+    let mut client = NetClient::connect(net.local_addr()).expect("handshake");
+
+    let batch: Vec<Submit> = (0..8)
+        .map(|i| Submit::new(SessionId(i as u64), vec![0.1, 0.2, 0.3], i % 2))
+        .collect();
+    match client.submit(&batch) {
+        Err(NetError::Rejected(ServeError::Overloaded { shard: 0 })) => {}
+        other => panic!("expected remote Overloaded, got {other:?}"),
+    }
+    // The deadline path refuses with DeadlineExceeded once the budget is
+    // spent — also without hanging.
+    match client.submit_with_deadline(&batch, Duration::from_millis(20)) {
+        Err(NetError::Rejected(ServeError::DeadlineExceeded)) => {}
+        other => panic!("expected remote DeadlineExceeded, got {other:?}"),
+    }
+    // Retry exhausts its attempts on the same refusal and reports it.
+    let policy = RetryPolicy::default()
+        .with_max_attempts(3)
+        .with_initial_backoff(Duration::from_millis(1));
+    match client.submit_with_retry(&batch, policy) {
+        Err(NetError::Rejected(ServeError::Overloaded { .. })) => {}
+        other => panic!("expected retry-exhausted Overloaded, got {other:?}"),
+    }
+    // The connection survived every refusal: a small batch still works.
+    let ok = client
+        .submit(&[Submit::new(SessionId(0), vec![0.1, 0.2, 0.3], 0)])
+        .expect("connection usable after rejections");
+    assert_eq!(ok.len(), 1);
+    assert!(net.metrics().batches_rejected >= 4);
+    net.shutdown();
+}
+
+#[test]
+fn schema_and_dimension_mismatches_fail_typed() {
+    let core = Arc::new(StreamServer::new(template(), serve_config()));
+    let net = bind(core);
+
+    // Wrong declared schema: refused at handshake.
+    match NetClient::connect_expecting(net.local_addr(), 7, 2) {
+        Err(NetError::Protocol(ProtocolError::SchemaMismatch { expected: 3, got: 7 })) => {}
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+
+    // Discovery still works, and client-side validation mirrors the
+    // server's eager checks without a round trip.
+    let mut client = NetClient::connect(net.local_addr()).expect("handshake");
+    assert_eq!((client.n_features(), client.n_classes()), (3, 2));
+    match client.submit(&[Submit::new(SessionId(0), vec![0.5], 0)]) {
+        Err(NetError::Rejected(ServeError::DimensionMismatch { expected: 3, got: 1 })) => {}
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    match client.submit(&[]) {
+        Err(NetError::Rejected(ServeError::EmptyBatch)) => {}
+        other => panic!("expected EmptyBatch, got {other:?}"),
+    }
+    net.shutdown();
+}
+
+#[test]
+fn malformed_frames_are_refused_without_harming_other_connections() {
+    let core = Arc::new(StreamServer::new(template(), serve_config()));
+    let net = bind(core);
+    let addr = net.local_addr();
+    let mut good = NetClient::connect(addr).expect("handshake");
+
+    // A raw socket speaking garbage: the server reports the violation
+    // (an ERROR frame) and closes that connection only.
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+    raw.flush().unwrap();
+    let mut buf = Vec::new();
+    let _ = raw.read_to_end(&mut buf); // server closes after its report
+    drop(raw);
+
+    // A hello frame announcing more payload than ever arrives (the peer
+    // hangs up mid-frame): truncation, counted as a protocol error.
+    let mut trunc = TcpStream::connect(addr).expect("connect");
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&11u32.to_le_bytes()); // kind + 10 payload bytes
+    hello.push(kind::CLIENT_HELLO);
+    hello.extend_from_slice(b"FCSM");
+    hello.extend_from_slice(&wire::PROTOCOL_VERSION.to_le_bytes());
+    trunc.write_all(&hello).expect("write truncated stream"); // 6 of 10, then EOF
+    drop(trunc);
+
+    // A version from the future: typed refusal at handshake.
+    let mut future = TcpStream::connect(addr).expect("connect");
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"FCSM");
+    payload.extend_from_slice(&9999u16.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    let mut frame = ((payload.len() + 1) as u32).to_le_bytes().to_vec();
+    frame.push(kind::CLIENT_HELLO);
+    frame.extend_from_slice(&payload);
+    future.write_all(&frame).expect("write future hello");
+    let mut reply = Vec::new();
+    let _ = future.read_to_end(&mut reply);
+    assert!(!reply.is_empty(), "server reports the version mismatch before closing");
+    assert_eq!(reply[4], kind::ERROR);
+    drop(future);
+
+    // The healthy connection is entirely unaffected.
+    let results = good
+        .submit(&[Submit::new(SessionId(3), vec![0.2, 0.4, 0.6], 1)])
+        .expect("good client unaffected by bad peers");
+    assert_eq!(results.len(), 1);
+    // The garbage and truncated connections were counted; the future-
+    // version one failed at handshake (also a protocol error).
+    assert!(net.metrics().protocol_errors >= 2);
+    net.shutdown();
+}
+
+#[test]
+fn client_disconnect_releases_only_that_client() {
+    let core = Arc::new(StreamServer::new(template(), serve_config()));
+    let net = bind(core);
+    let addr = net.local_addr();
+
+    let mut stayer = NetClient::connect(addr).expect("handshake");
+    {
+        let mut leaver = NetClient::connect(addr).expect("handshake");
+        leaver
+            .submit(&[Submit::new(SessionId(1), vec![0.1, 0.2, 0.3], 0)])
+            .expect("submit before vanishing");
+        // Dropped without a goodbye: the server sees EOF and cleans up.
+    }
+    // Wait for the server to observe the close.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while net.metrics().connections_closed < 1 {
+        assert!(std::time::Instant::now() < deadline, "server never noticed the disconnect");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let results = stayer
+        .submit(&[Submit::new(SessionId(2), vec![0.1, 0.2, 0.3], 1)])
+        .expect("surviving client keeps its connection");
+    assert_eq!(results.len(), 1);
+    stayer.shutdown().expect("orderly goodbye");
+    net.shutdown();
+}
+
+#[test]
+fn server_shutdown_mid_conversation_is_an_orderly_goodbye() {
+    let core = Arc::new(StreamServer::new(template(), serve_config()));
+    let net = bind(core.clone());
+    let addr = net.local_addr();
+
+    let mut client = NetClient::connect(addr).expect("handshake");
+    client
+        .submit(&[Submit::new(SessionId(0), vec![0.3, 0.6, 0.9], 1)])
+        .expect("first batch served");
+
+    // Front-end and a direct core caller race shutdown — made safe by
+    // StreamServer's idempotent close. The client observes ServerClosed
+    // (an unsolicited goodbye), not a reset or a hang.
+    let racer = std::thread::spawn(move || core.shutdown_in_place());
+    let report = net.shutdown();
+    let direct = racer.join().expect("direct shutdown");
+    // Exactly-once across the racing reports: one session total.
+    assert_eq!(report.serve.snapshots.len() + direct.snapshots.len(), 1);
+
+    match client.submit(&[Submit::new(SessionId(0), vec![0.3, 0.6, 0.9], 1)]) {
+        // The server's unsolicited goodbye, read back as ServerClosed —
+        // or, if the kernel already tore the socket down around it, the
+        // close surfaces as an I/O error / EOF. Never a hang, never junk.
+        Err(NetError::ServerClosed) | Err(NetError::Rejected(ServeError::ShutDown)) => {}
+        Err(NetError::Io(_)) | Err(NetError::Protocol(ProtocolError::Truncated)) => {}
+        other => panic!("expected orderly close, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_summaries_drain_over_the_wire() {
+    // One-session shards with a one-session cap: touching a second
+    // session on the same shard evicts the first, leaving a snapshot.
+    let config =
+        ServeConfig::default().with_shards(1).with_queue_capacity(64).with_max_sessions_per_shard(1);
+    let core = Arc::new(StreamServer::new(template(), config));
+    let net = bind(core);
+    let mut client = NetClient::connect(net.local_addr()).expect("handshake");
+
+    for id in 0..3u64 {
+        client
+            .submit(&[Submit::new(SessionId(id), vec![0.1, 0.2, 0.3], 0)])
+            .expect("serve one observation per session");
+    }
+    let summaries = client.snapshot_summaries().expect("drain over the wire");
+    assert_eq!(summaries.len(), 2, "two sessions were evicted by the cap");
+    for summary in &summaries {
+        assert_eq!(summary.reason, EvictReason::Capacity);
+        assert_eq!(summary.steps, 1);
+        assert!(summary.has_checkpoint);
+    }
+    // Exactly-once: a second drain is empty.
+    assert!(client.snapshot_summaries().expect("second drain").is_empty());
+    net.shutdown();
+}
