@@ -42,13 +42,37 @@ echo "== perf smoke (stream_throughput vs committed baseline) =="
 # compared against the committed BENCH_stream.json (DESIGN.md "Hot path &
 # allocation budget"). Fails when steps/sec drops >20% below the baseline.
 if [ ! -f BENCH_stream.json ]; then
-  echo "BENCH_stream.json missing; record it with:" >&2
+  echo "BENCH_stream.json missing; record both modes with:" >&2
   echo "  cargo run --release -p ficsum-bench --features alloc-count \\" >&2
   echo "    --bin stream_throughput -- --repeat 5 --out BENCH_stream.json" >&2
+  echo "  cargo run --release -p ficsum-bench --features alloc-count \\" >&2
+  echo "    --bin stream_throughput -- --repeat 5 --incremental --emd-stride 4 \\" >&2
+  echo "    --append BENCH_stream.json" >&2
   exit 1
 fi
 cargo run --release -q -p ficsum-bench --bin stream_throughput -- \
   --repeat 3 --check BENCH_stream.json --min-ratio 0.8
+# Same gate for the incremental-statistics mode: --check matches this
+# run against the baseline line with "mode":"incremental".
+cargo run --release -q -p ficsum-bench --bin stream_throughput -- \
+  --repeat 3 --incremental --emd-stride 4 --check BENCH_stream.json --min-ratio 0.8
+
+echo "== perf smoke (extraction_throughput vs committed baseline) =="
+# Steady-state fingerprint extraction: the engine path and the
+# incremental-statistics streaming path against the committed
+# BENCH_extract.json (DESIGN.md "Incremental statistics"), failing when
+# either drops >20% below baseline. --assert-zero-alloc additionally
+# fails if the incremental steady state allocates at all (the counting
+# allocator is compiled in via the alloc-count feature).
+if [ ! -f BENCH_extract.json ]; then
+  echo "BENCH_extract.json missing; record it with:" >&2
+  echo "  cargo run --release -p ficsum-bench --features alloc-count \\" >&2
+  echo "    --bin extraction_throughput -- --assert-zero-alloc --out BENCH_extract.json" >&2
+  exit 1
+fi
+cargo run --release -q -p ficsum-bench --features alloc-count \
+  --bin extraction_throughput -- \
+  --secs 0.15 --reps 4 --assert-zero-alloc --check BENCH_extract.json --min-ratio 0.8
 
 echo "== perf smoke (serve_throughput vs committed baseline) =="
 # Aggregate multi-session serving throughput (sessions x shards) against

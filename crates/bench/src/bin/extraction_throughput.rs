@@ -16,8 +16,17 @@
 //! noise environment. With no clock attached (the `NullRecorder`
 //! default) the obs layer costs one branch per extraction.
 //!
+//! A fourth interleaved round compares steady-state *streaming* extraction
+//! (push one frame, fingerprint the window) through the batch engine
+//! against the incremental-statistics engine, which is the configuration
+//! the CI perf gate regresses: `--out PATH` records the baseline,
+//! `--check PATH` fails (exit 1) when either engine path drops more than
+//! 20% below it, and `--assert-zero-alloc` (requires the `alloc-count`
+//! feature) fails when the incremental steady state allocates at all.
+//!
 //! Usage: `extraction_throughput [--secs S] [--d D] [--window W] [--reps R]
-//! [--jsonl PATH]` (defaults: 0.25 s per round, 8 rounds per path,
+//! [--jsonl PATH] [--out PATH] [--check PATH] [--min-ratio F]
+//! [--assert-zero-alloc]` (defaults: 0.25 s per round, 8 rounds per path,
 //! d = 20, w = 100).
 
 use std::sync::Arc;
@@ -28,7 +37,12 @@ use ficsum_classifiers::{Classifier, HoeffdingTree};
 use ficsum_meta::{FingerprintEngine, FingerprintExtractor};
 use ficsum_obs::MonotonicClock;
 use ficsum_stream::rng::{RandomSource, Xoshiro256pp};
-use ficsum_stream::{LabeledObservation, TrackedWindow};
+use ficsum_stream::{FrameWindows, LabeledObservation, TrackedWindow};
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: ficsum_bench::alloc_count::CountingAllocator =
+    ficsum_bench::alloc_count::CountingAllocator;
 
 fn interleaved(
     rounds: usize,
@@ -57,6 +71,10 @@ fn main() {
     let mut w = 100usize;
     let mut reps = 8usize;
     let mut jsonl: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut min_ratio = 0.8f64;
+    let mut assert_zero_alloc = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +82,19 @@ fn main() {
                 jsonl = Some(args[i + 1].clone());
                 i += 1;
             }
+            "--out" => {
+                out = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--check" => {
+                check = Some(args[i + 1].clone());
+                i += 1;
+            }
+            "--min-ratio" => {
+                min_ratio = args[i + 1].parse().expect("--min-ratio requires a number");
+                i += 1;
+            }
+            "--assert-zero-alloc" => assert_zero_alloc = true,
             "--secs" => {
                 secs = args[i + 1].parse().expect("--secs requires a number");
                 i += 1;
@@ -174,6 +205,156 @@ fn main() {
         "obs timing overhead: {overhead_pct:.2}% (clock attached vs NullRecorder default)"
     );
 
+    // Streaming steady state: each iteration pushes one frame into a ring
+    // window and fingerprints it — the framework's per-extraction shape.
+    // Batch engine vs incremental-statistics engine (the CI-gated mode,
+    // EMD stride 4 as in the BENCH_stream incremental configuration).
+    let tape: Vec<LabeledObservation> = synthetic_window(w * 4, d, 9)
+        .into_iter()
+        .map(|o| {
+            let p = tree.predict(o.features());
+            o.observation.labeled(p)
+        })
+        .collect();
+    let mut batch_fw = FrameWindows::new(w, 0, d);
+    let mut incr_fw = FrameWindows::new(w, 0, d);
+    incr_fw.enable_stats(extractor.mi_bins());
+    for o in tape.iter().take(w) {
+        batch_fw.push(o.features(), o.label(), o.prediction);
+        incr_fw.push(o.features(), o.label(), o.prediction);
+    }
+    let mut incr_engine = FingerprintEngine::new(extractor.clone())
+        .with_incremental_stats(true)
+        .with_emd_stride(4);
+    let mut fp_b = Vec::new();
+    let mut fp_i = Vec::new();
+    let (mut bi, mut ii) = (0usize, 0usize);
+    let (stream_batch, stream_incr) = interleaved(
+        reps,
+        secs,
+        w as u64,
+        || {
+            let o = &tape[bi % tape.len()];
+            bi += 1;
+            batch_fw.push(o.features(), o.label(), o.prediction);
+            engine.extract_tracked_frames_repredicted_into(
+                &batch_fw.a_tracked(),
+                &tree,
+                &mut fp_b,
+            );
+            std::hint::black_box(&fp_b);
+        },
+        || {
+            let o = &tape[ii % tape.len()];
+            ii += 1;
+            incr_fw.push(o.features(), o.label(), o.prediction);
+            incr_engine.extract_tracked_frames_repredicted_into(
+                &incr_fw.a_tracked(),
+                &tree,
+                &mut fp_i,
+            );
+            std::hint::black_box(&fp_i);
+        },
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.3}",
+        "stream (batch engine)",
+        stream_batch.units_per_sec(),
+        stream_batch.secs_per_iter() * 1e3
+    );
+    println!(
+        "{:<28} {:>14.0} {:>14.3}",
+        "stream (incremental stats)",
+        stream_incr.units_per_sec(),
+        stream_incr.secs_per_iter() * 1e3
+    );
+    let incr_speedup = stream_incr.units_per_sec() / stream_batch.units_per_sec();
+    println!("incremental speedup: {incr_speedup:.2}x");
+
+    if assert_zero_alloc {
+        if !cfg!(feature = "alloc-count") {
+            eprintln!(
+                "--assert-zero-alloc needs the alloc-count feature \
+                 (cargo run --features alloc-count ...)"
+            );
+            std::process::exit(1);
+        }
+        // Warm the scratch buffers, then demand a fully allocation-free
+        // steady state: push + incremental extraction must stay inside
+        // reused capacity even across EMD re-sift strides.
+        let iters = 256usize;
+        for _ in 0..64 {
+            let o = &tape[ii % tape.len()];
+            ii += 1;
+            incr_fw.push(o.features(), o.label(), o.prediction);
+            incr_engine.extract_tracked_frames_repredicted_into(
+                &incr_fw.a_tracked(),
+                &tree,
+                &mut fp_i,
+            );
+        }
+        let a0 = alloc_sample();
+        for _ in 0..iters {
+            let o = &tape[ii % tape.len()];
+            ii += 1;
+            incr_fw.push(o.features(), o.label(), o.prediction);
+            incr_engine.extract_tracked_frames_repredicted_into(
+                &incr_fw.a_tracked(),
+                &tree,
+                &mut fp_i,
+            );
+        }
+        let allocs = alloc_sample() - a0;
+        println!("zero-alloc assertion: {allocs} allocations over {iters} steady-state steps");
+        if allocs != 0 {
+            eprintln!(
+                "ALLOC REGRESSION: incremental steady-state extraction allocated \
+                 {allocs} times over {iters} steps (expected 0)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let line = format!(
+        "{{\"bench\":\"extraction_throughput\",\"d\":{d},\"window\":{w},\
+         \"legacy_obs_per_sec\":{:.1},\"engine_obs_per_sec\":{:.1},\
+         \"stream_batch_obs_per_sec\":{:.1},\"stream_incremental_obs_per_sec\":{:.1},\
+         \"incremental_speedup\":{:.3}}}",
+        legacy.units_per_sec(),
+        fast.units_per_sec(),
+        stream_batch.units_per_sec(),
+        stream_incr.units_per_sec(),
+        incr_speedup
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{line}\n")).unwrap_or_else(|e| panic!("--out {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &check {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check {path}: {e}"));
+        let mut failed = false;
+        for (field, current) in [
+            ("engine_obs_per_sec", fast.units_per_sec()),
+            ("stream_incremental_obs_per_sec", stream_incr.units_per_sec()),
+        ] {
+            let base = json_field(&baseline, field)
+                .unwrap_or_else(|| panic!("--check {path}: no {field} field"));
+            let ratio = current / base;
+            println!(
+                "perf check: {field} {current:.0} vs baseline {base:.0} \
+                 (ratio {ratio:.2}, floor {min_ratio:.2})"
+            );
+            if ratio < min_ratio {
+                eprintln!("PERF REGRESSION: {field} ratio {ratio:.2} below {min_ratio:.2}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
     if jsonl.is_some() {
         let opts = Options { seeds: 0, quick: false, only: None, jsonl };
         let mut rep = JsonlReporter::from_options("extraction_throughput", &opts)
@@ -182,6 +363,28 @@ fn main() {
         rep.record_throughput("engine", &fast);
         rep.record_throughput("engine_untimed", &plain);
         rep.record_throughput("engine_timed", &timed);
+        rep.record_throughput("stream_batch", &stream_batch);
+        rep.record_throughput("stream_incremental", &stream_incr);
         rep.finish();
     }
+}
+
+#[cfg(feature = "alloc-count")]
+fn alloc_sample() -> u64 {
+    ficsum_bench::alloc_count::allocations()
+}
+
+#[cfg(not(feature = "alloc-count"))]
+fn alloc_sample() -> u64 {
+    0
+}
+
+/// Pulls a numeric field out of a single-object JSON line without a JSON
+/// dependency (the file is machine-written by this binary).
+fn json_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = &json[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }

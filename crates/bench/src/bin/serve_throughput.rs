@@ -9,15 +9,23 @@
 //! (the ≥3x target presumes ≥4), so the check regresses throughput on the
 //! same machine rather than asserting an absolute ratio.
 //!
+//! The submit loop is a bounded closed loop: at most `--in-flight` waves
+//! (one wave = one submit batch covering every session) are outstanding at
+//! any moment, and the next wave is only submitted after the oldest one
+//! drains. An unbounded loop that enqueues the whole run up front measures
+//! queue residency, not serving latency — the p50 converges on half the
+//! run's wall clock regardless of how fast the shards actually are.
+//!
 //! Usage:
 //!
 //! ```sh
 //! serve_throughput [--sessions N] [--shards S] [--steps K] [--seed S]
-//!                  [--repeat R] [--out PATH] [--check PATH] [--min-ratio F]
-//!                  [--max-p99-ratio F]
+//!                  [--in-flight W] [--repeat R] [--out PATH] [--check PATH]
+//!                  [--min-ratio F] [--max-p99-ratio F]
 //! ```
 //!
-//! Defaults: 64 sessions over 4 shards, 400 steps per session, best of 3.
+//! Defaults: 64 sessions over 4 shards, 400 steps per session, 4 waves in
+//! flight, best of 3.
 
 use std::time::Instant;
 
@@ -32,6 +40,7 @@ struct Args {
     shards: usize,
     steps: usize,
     seed: u64,
+    in_flight: usize,
     repeat: usize,
     out: Option<String>,
     check: Option<String>,
@@ -46,6 +55,7 @@ fn parse_args() -> Args {
         shards: 4,
         steps: 400,
         seed: 42,
+        in_flight: 4,
         repeat: 3,
         out: None,
         check: None,
@@ -62,6 +72,7 @@ fn parse_args() -> Args {
             "--shards" => a.shards = val(i).parse().expect("--shards"),
             "--steps" => a.steps = val(i).parse().expect("--steps"),
             "--seed" => a.seed = val(i).parse().expect("--seed"),
+            "--in-flight" => a.in_flight = val(i).parse().expect("--in-flight"),
             "--repeat" => a.repeat = val(i).parse().expect("--repeat"),
             "--out" => a.out = Some(val(i)),
             "--check" => a.check = Some(val(i)),
@@ -114,25 +125,33 @@ fn run_once(args: &Args) -> Measurement {
     let single_steps_per_sec = args.steps as f64 / t_single.elapsed().as_secs_f64();
 
     let total = args.sessions * args.steps;
+    let in_flight = args.in_flight.max(1);
     let server = StreamServer::new(
         template(),
         ServeConfig::default()
             .with_shards(args.shards)
-            // Room for the whole run: the bench measures processing
-            // throughput, not backpressure.
-            .with_queue_capacity(total)
+            // Room for the in-flight window only: latency should measure
+            // serving time, not residency in an unbounded queue.
+            .with_queue_capacity(args.sessions * (in_flight + 1))
             .with_max_sessions_per_shard(args.sessions.max(1)),
     );
     let t_run = Instant::now();
-    let mut replies = Vec::with_capacity(args.steps);
+    let mut served_steps = 0usize;
+    let mut pending = std::collections::VecDeque::with_capacity(in_flight);
     for (features, label) in &data {
+        if pending.len() == in_flight {
+            let reply: ficsum_serve::BatchReply = pending.pop_front().expect("non-empty");
+            for result in reply.wait() {
+                result.expect("no faults in a clean benchmark run");
+                served_steps += 1;
+            }
+        }
         let wave: Vec<Submit> = (0..args.sessions)
             .map(|s| Submit::new(SessionId(s as u64), features.clone(), *label))
             .collect();
-        replies.push(server.try_submit(&wave).expect("queue sized for the whole run"));
+        pending.push_back(server.try_submit(&wave).expect("queue sized for the in-flight window"));
     }
-    let mut served_steps = 0usize;
-    for reply in replies {
+    for reply in pending {
         for result in reply.wait() {
             result.expect("no faults in a clean benchmark run");
             served_steps += 1;
@@ -162,13 +181,15 @@ fn json_line(args: &Args, m: &Measurement, steps_per_sec: f64, cores: usize) -> 
     let scaling = steps_per_sec / m.single_steps_per_sec;
     format!(
         "{{\"bench\":\"serve_throughput\",\"sessions\":{},\"shards\":{},\"steps\":{},\
-         \"seed\":{},\"cores\":{},\"steps_per_sec\":{:.1},\"single_steps_per_sec\":{:.1},\
+         \"seed\":{},\"in_flight\":{},\"cores\":{},\"steps_per_sec\":{:.1},\
+         \"single_steps_per_sec\":{:.1},\
          \"scaling\":{:.3},\"latency_p50_us\":{:.1},\"latency_p99_us\":{:.1},\
          \"max_queue_depth\":{}}}",
         args.sessions,
         args.shards,
         args.steps,
         args.seed,
+        args.in_flight,
         cores,
         steps_per_sec,
         m.single_steps_per_sec,
@@ -247,9 +268,9 @@ fn main() {
             eprintln!("PERF REGRESSION: throughput ratio {ratio:.2} below {:.2}", args.min_ratio);
             std::process::exit(1);
         }
-        // Tail latency gates too, with more headroom than throughput: in
-        // this bench p99 is dominated by queueing time (the whole run is
-        // enqueued up front), which scales with throughput but is noisier.
+        // Tail latency gates too, with more headroom than throughput: even
+        // with the bounded in-flight window, p99 includes residency behind
+        // up to `in_flight` earlier waves and is noisier than throughput.
         if let Some(base_p99) = json_field(&baseline, "latency_p99_us") {
             let p99_ratio = m.p99_us / base_p99;
             println!(

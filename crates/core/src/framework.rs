@@ -372,6 +372,32 @@ impl Ficsum {
         self.scan_pool.clear();
     }
 
+    /// Extends the incremental substitution from the moments to the full
+    /// per-window statistic set (see
+    /// [`crate::variant::FicsumBuilder::incremental_stats`]): switches the
+    /// frame windows' per-source statistic banks on at the extractor's MI
+    /// resolution and lets the engine substitute ACF/PACF, lagged MI and
+    /// the turning-point rate (which implies incremental moments) and cache
+    /// IMF entropies per source.
+    pub(crate) fn configure_incremental_stats(&mut self, on: bool) {
+        if on {
+            let bins = self.engine.extractor().mi_bins();
+            self.frames.enable_stats(bins);
+            self.engine.set_incremental_moments(true);
+        } else {
+            self.frames.disable_stats();
+        }
+        self.engine.set_incremental_stats(on);
+        self.scan_pool.clear();
+    }
+
+    /// Bounds how often the engine re-sifts IMF entropies under incremental
+    /// statistics (see [`crate::variant::FicsumBuilder::emd_stride`]).
+    pub(crate) fn configure_emd_stride(&mut self, stride: u32) {
+        self.engine.set_emd_stride(stride);
+        self.scan_pool.clear();
+    }
+
     /// The fingerprint engine driving extraction.
     pub fn engine(&self) -> &FingerprintEngine {
         &self.engine
@@ -640,7 +666,11 @@ impl Ficsum {
     /// repository order, and the acceptance fold runs over the merged list
     /// exactly as the sequential loop would: the outcome is bit-identical
     /// whichever thread scored an entry.
-    fn select_best(&mut self, window: &FrameBlock) -> Option<(ConceptId, f64)> {
+    /// `scan_ready` means the caller already built `window_scan` for this
+    /// exact window (the drift path scans the live tracked window *before*
+    /// copying it out, so the scan can reuse per-source EMD state); when
+    /// false the scan is built here from the copied block.
+    fn select_best(&mut self, window: &FrameBlock, scan_ready: bool) -> Option<(ConceptId, f64)> {
         let norm_v = self.normalizer.version();
         // Phase 0: refresh each candidate's cached selection side (cheap
         // version check per entry; recomputed only after the fingerprint or
@@ -662,10 +692,11 @@ impl Ficsum {
         // same whichever stored classifier re-predicts it, so they are
         // evaluated once here and spliced into every candidate extraction
         // (and the recheck's incumbent extraction) below.
-        {
+        if !scan_ready {
             let Self { engine, window_scan, .. } = self;
             engine.static_scan_frames(window, window_scan);
         }
+        debug_assert!(self.window_scan.is_ready());
         // Phase 1: score every candidate -> (id, sim, mu, sigma) in
         // repository order.
         let mut scored: Vec<(ConceptId, f64, f64, f64)> = Vec::with_capacity(n_cands);
@@ -753,10 +784,10 @@ impl Ficsum {
 
     /// Model selection (Algorithm 1 lines 25–35): store the incumbent, test
     /// every stored concept, and activate the best acceptor or a fresh one.
-    fn model_select(&mut self, window: &FrameBlock) -> Selection {
+    fn model_select(&mut self, window: &FrameBlock, scan_ready: bool) -> Selection {
         let from = self.active_id;
         self.store_active();
-        let (selection, similarity) = match self.select_best(window) {
+        let (selection, similarity) = match self.select_best(window, scan_ready) {
             Some((id, sim)) => {
                 self.activate(id);
                 self.stats.n_reuses += 1;
@@ -788,8 +819,8 @@ impl Ficsum {
     /// the incumbent, it is selected; a newly created incumbent is deleted
     /// ("the alternative is deleted"), a reused incumbent returns to the
     /// repository.
-    fn run_recheck(&mut self, window: &FrameBlock, incumbent_new: bool) {
-        let best = self.select_best(window);
+    fn run_recheck(&mut self, window: &FrameBlock, incumbent_new: bool, scan_ready: bool) {
+        let best = self.select_best(window, scan_ready);
         let Some((id, best_sim)) = best else { return };
         // Score the incumbent on the same pure window; a fresh incumbent
         // with no history scores 0 (it cannot defend itself yet).
@@ -870,6 +901,9 @@ impl Ficsum {
                 self.stats.n_plasticity_resets += 1;
                 self.emit(StreamEvent::PlasticityReset);
                 self.recorder.counter("ficsum.plasticity_resets", 1);
+                // The grown classifier re-predicts differently from here on;
+                // do not let stale cached entropies bridge the change.
+                self.engine.invalidate_emd_cache();
                 // The reset dimensions read as empty until buffer windows
                 // refill them; comparing against the half-empty fingerprint
                 // would register as (false) drift.
@@ -1091,9 +1125,22 @@ impl Ficsum {
                     let mut block = std::mem::take(&mut self.drift_block);
                     block.copy_from(&self.frames.a_view());
                     let t0 = self.span_start();
-                    let selection = self.model_select(&block);
+                    // Under incremental statistics, scan the *live* tracked
+                    // window instead of the copied block: the selection scan
+                    // then shares the window's statistic banks and — because
+                    // `fp_a` was just extracted from these exact contents —
+                    // reuses the cached IMF entropies by content hash.
+                    let scan_ready = self.engine.incremental_stats();
+                    if scan_ready {
+                        let Self { engine, frames, window_scan, .. } = self;
+                        engine.static_scan_tracked(&frames.a_tracked(), window_scan);
+                    }
+                    let selection = self.model_select(&block, scan_ready);
                     self.span_end(Stage::RepositoryReassess, t0);
                     self.drift_block = block;
+                    // The active classifier changed: cached EMD values for
+                    // prediction-dependent sources belong to the old one.
+                    self.engine.invalidate_emd_cache();
                     outcome.concept_switched = true;
                     self.frames.clear_buffer();
                     self.detector.reset();
@@ -1155,11 +1202,17 @@ impl Ficsum {
                 let mut block = std::mem::take(&mut self.drift_block);
                 block.copy_from(&self.frames.a_view());
                 let t0 = self.span_start();
-                self.run_recheck(&block, recheck.created_new);
+                let scan_ready = self.engine.incremental_stats();
+                if scan_ready {
+                    let Self { engine, frames, window_scan, .. } = self;
+                    engine.static_scan_tracked(&frames.a_tracked(), window_scan);
+                }
+                self.run_recheck(&block, recheck.created_new, scan_ready);
                 self.span_end(Stage::RepositoryReassess, t0);
                 self.drift_block = block;
                 if self.active_id != before {
                     outcome.concept_switched = true;
+                    self.engine.invalidate_emd_cache();
                 }
             }
         }

@@ -34,29 +34,53 @@ use std::sync::Arc;
 
 use ficsum_classifiers::Classifier;
 use ficsum_obs::Clock;
-use ficsum_stream::{FrameSource, LabeledObservation, Moments, MomentSource, TrackedWindow};
+use ficsum_stream::{FrameSource, LabeledObservation, Moments, MomentSource, StatSource, TrackedWindow};
 
 use crate::autocorr::{autocorrelation, partial_autocorrelation};
 use crate::emd::{imf_entropies_scratch, EmdConfig, EmdScratch};
 use crate::extractor::{FingerprintExtractor, FingerprintSchema};
 use crate::functions::{turning_point_rate, MetaFunction};
+use crate::incremental::{ext_vals, ExtVals};
 use crate::mutual_info::{lagged_mutual_information_scratch, MiScratch};
 use crate::sources::{behaviour_sources, SourceKind};
 
-/// Moment statistics pre-computed by a [`TrackedWindow`]; substituted for
-/// the batch moment sweep on sources whose membership the window tracks.
+/// Statistics pre-computed by a tracked window; substituted for the batch
+/// sweeps on sources whose membership the window tracks.
 #[derive(Debug, Clone, Copy)]
 struct TrackedVals {
     mean: f64,
     std_dev: f64,
     skewness: f64,
     kurtosis: f64,
+    /// Incrementally maintained sequence statistics (ACF, PACF, lagged MI,
+    /// turning-point rate); `None` = batch sweep for those functions.
+    ext: Option<ExtVals>,
+}
+
+/// One cached EMD result: the IMF entropies of the last sequence this
+/// source computed them for, keyed by a content hash so an unchanged
+/// window reuses them exactly, plus a staleness age for the bounded-stride
+/// amortisation of [`FingerprintEngine::set_emd_stride`].
+#[derive(Debug, Clone, Copy, Default)]
+struct EmdSlot {
+    hash: u64,
+    len: usize,
+    vals: (f64, f64),
+    /// Consecutive stale reuses since the last fresh sifting.
+    age: u32,
+    valid: bool,
 }
 
 /// One work item of the parallel source sweep: the source sequence, its
-/// tracked-moment substitutes, the disjoint output chunk it fills, and its
-/// per-source timing slot.
-type SourceTask<'a> = (&'a [f64], Option<TrackedVals>, &'a mut [f64], &'a mut u64);
+/// tracked substitutes, its EMD cache slot (with the stride budget), the
+/// disjoint output chunk it fills, and its per-source timing slot.
+type SourceTask<'a> = (
+    &'a [f64],
+    Option<TrackedVals>,
+    Option<(&'a mut EmdSlot, u32)>,
+    &'a mut [f64],
+    &'a mut u64,
+);
 
 impl TrackedVals {
     fn from_moments(m: &Moments) -> Self {
@@ -65,6 +89,7 @@ impl TrackedVals {
             std_dev: m.std_dev(),
             skewness: m.skewness(),
             kurtosis: m.kurtosis(),
+            ext: None,
         }
     }
 }
@@ -135,6 +160,20 @@ pub struct FingerprintEngine {
     /// Whether the tracked-window entry points may substitute incremental
     /// moments for the batch sweep (off by default: bit-exact batch).
     incremental_moments: bool,
+    /// Whether the tracked-window entry points may substitute the full
+    /// incremental sequence-statistic set (ACF/PACF, lagged MI, turning
+    /// points) and cache IMF entropies per source. Off by default.
+    incremental_stats: bool,
+    /// EMD amortisation budget: recompute IMF entropies for a changed
+    /// window at most every `emd_stride`-th extraction per source. `1`
+    /// (default) = recompute on every content change.
+    emd_stride: u32,
+    /// Which EMD cache bank the current tracked extraction uses (`None` =
+    /// caching off for this call).
+    active_bank: Option<usize>,
+    /// Per-source EMD cache slots, one bank per window tag (0 = active A,
+    /// 1 = stale B) so the two fingerprint cadences never evict each other.
+    emd_cache: [Vec<EmdSlot>; 2],
     /// One cached sequence buffer per selected source.
     seqs: Vec<Vec<f64>>,
     /// Tracked moment substitutes, aligned with `kinds` (`None` = batch).
@@ -173,6 +212,10 @@ impl FingerprintEngine {
             kinds,
             threads: 1,
             incremental_moments: false,
+            incremental_stats: false,
+            emd_stride: 1,
+            active_bank: None,
+            emd_cache: [Vec::new(), Vec::new()],
             seqs: vec![Vec::new(); n_sources],
             tracked: Vec::new(),
             preds: Vec::new(),
@@ -227,6 +270,74 @@ impl FingerprintEngine {
     /// Whether incremental moment substitution is enabled.
     pub fn incremental_moments(&self) -> bool {
         self.incremental_moments
+    }
+
+    /// Builder-style variant of [`FingerprintEngine::set_incremental_stats`].
+    pub fn with_incremental_stats(mut self, on: bool) -> Self {
+        self.set_incremental_stats(on);
+        self
+    }
+
+    /// Extends the incremental substitution from the moments to the full
+    /// per-window statistic set on tracked entry points: ACF/PACF at lags
+    /// 1–2 come from rolling centered cross-sums, lagged mutual information
+    /// from an add/remove joint histogram, and the turning-point rate from
+    /// an exact counter — all maintained by the window in O(1) per
+    /// observation (see [`ficsum_stream::SeqStats`]). The window must have
+    /// statistics enabled ([`ficsum_stream::FrameWindows::enable_stats`]
+    /// with the extractor's MI bin count); sources without usable state
+    /// silently fall back to the batch sweep.
+    ///
+    /// Enabling this also enables the moment substitution for tracked
+    /// sources (the two share the same ≤ 1e-9 relative tolerance contract;
+    /// MI and turning points are bit-identical). IMF entropies are
+    /// additionally cached per source behind a content hash — identical
+    /// window contents reuse the previous sifting exactly; see
+    /// [`FingerprintEngine::set_emd_stride`] for the amortised schedule.
+    /// Off by default: the batch path stays bit-exact.
+    pub fn set_incremental_stats(&mut self, on: bool) {
+        self.incremental_stats = on;
+        if !on {
+            self.active_bank = None;
+        }
+    }
+
+    /// Whether incremental sequence-statistic substitution is enabled.
+    pub fn incremental_stats(&self) -> bool {
+        self.incremental_stats
+    }
+
+    /// Builder-style variant of [`FingerprintEngine::set_emd_stride`].
+    pub fn with_emd_stride(mut self, stride: u32) -> Self {
+        self.set_emd_stride(stride);
+        self
+    }
+
+    /// Bounds how often IMF entropies are re-sifted when incremental
+    /// statistics are on: a *changed* window recomputes them at most every
+    /// `stride`-th extraction per source, reusing the previous values in
+    /// between (an *unchanged* window always reuses them exactly, at any
+    /// stride). `1` — the default — recomputes on every change, so the EMD
+    /// dimensions stay faithful to the batch path; larger strides trade
+    /// bounded staleness (at most `stride - 1` fingerprint gaps) for a
+    /// proportional cut in sifting cost, which dominates extraction time.
+    pub fn set_emd_stride(&mut self, stride: u32) {
+        self.emd_stride = stride.max(1);
+    }
+
+    /// Current EMD amortisation stride.
+    pub fn emd_stride(&self) -> u32 {
+        self.emd_stride
+    }
+
+    /// Drops every cached EMD result. The framework calls this when the
+    /// active classifier changes (model switch, plasticity reset): the
+    /// prediction-dependent sources' sequences change meaning, so stale
+    /// reuse across the switch would mix classifiers.
+    pub fn invalidate_emd_cache(&mut self) {
+        for bank in &mut self.emd_cache {
+            bank.iter_mut().for_each(|s| s.valid = false);
+        }
     }
 
     /// Enables per-source extraction timing against `clock` (pass `None` to
@@ -317,6 +428,7 @@ impl FingerprintEngine {
         out: &mut Vec<f64>,
     ) {
         self.tracked.clear();
+        self.active_bank = None;
         self.run(src, classifier, false, out);
     }
 
@@ -354,6 +466,7 @@ impl FingerprintEngine {
         out: &mut Vec<f64>,
     ) {
         self.tracked.clear();
+        self.active_bank = None;
         self.run(src, Some(classifier), true, out);
     }
 
@@ -389,25 +502,29 @@ impl FingerprintEngine {
     /// [`FingerprintEngine::extract_tracked`] over any frame window that
     /// carries incremental moments (ring-backed [`ficsum_stream::TrackedFrames`]
     /// or the legacy [`TrackedWindow`]), writing into `out`.
-    pub fn extract_tracked_frames_into<S: FrameSource + MomentSource + ?Sized>(
+    pub fn extract_tracked_frames_into<S: FrameSource + MomentSource + StatSource + ?Sized>(
         &mut self,
         src: &S,
         classifier: Option<&dyn Classifier>,
         out: &mut Vec<f64>,
     ) {
-        self.fill_tracked_vals(src);
+        self.fill_tracked_vals(src, false);
+        self.set_active_bank(src);
         self.run(src, classifier, false, out);
     }
 
     /// [`FingerprintEngine::extract_tracked_repredicted`] over any tracked
     /// frame window, writing into `out`.
-    pub fn extract_tracked_frames_repredicted_into<S: FrameSource + MomentSource + ?Sized>(
+    pub fn extract_tracked_frames_repredicted_into<
+        S: FrameSource + MomentSource + StatSource + ?Sized,
+    >(
         &mut self,
         src: &S,
         classifier: &dyn Classifier,
         out: &mut Vec<f64>,
     ) {
-        self.fill_tracked_vals(src);
+        self.fill_tracked_vals(src, true);
+        self.set_active_bank(src);
         self.run(src, Some(classifier), true, out);
     }
 
@@ -416,26 +533,40 @@ impl FingerprintEngine {
     /// [`FingerprintEngine::extract_with_scan`].
     pub fn static_scan_frames<S: FrameSource + ?Sized>(&mut self, src: &S, scan: &mut StaticScan) {
         self.tracked.clear();
+        self.active_bank = None;
         self.static_scan_common(src, scan);
     }
 
     /// [`FingerprintEngine::static_scan_frames`] over a moment-tracking
     /// window (the incremental-moment substitutes apply exactly as in
     /// [`FingerprintEngine::extract_tracked_frames_repredicted_into`]).
-    pub fn static_scan_tracked<S: FrameSource + MomentSource + ?Sized>(
+    pub fn static_scan_tracked<S: FrameSource + MomentSource + StatSource + ?Sized>(
         &mut self,
         src: &S,
         scan: &mut StaticScan,
     ) {
-        self.fill_tracked_vals(src);
+        self.fill_tracked_vals(src, true);
+        self.set_active_bank(src);
         self.static_scan_common(src, scan);
     }
 
     fn static_scan_common<S: FrameSource + ?Sized>(&mut self, src: &S, scan: &mut StaticScan) {
         let n = src.len();
         let Self {
-            extractor, kinds, seqs, tracked, workers, clock, source_nanos, ..
+            extractor,
+            kinds,
+            seqs,
+            tracked,
+            workers,
+            clock,
+            source_nanos,
+            emd_cache,
+            emd_stride,
+            active_bank,
+            ..
         } = self;
+        let emd_stride = *emd_stride;
+        let mut cache = active_bank.map(|b| &mut emd_cache[b]);
         let functions = extractor.functions();
         let nf = functions.len();
         scan.vals.clear();
@@ -480,6 +611,7 @@ impl FingerprintEngine {
                 &emd_cfg,
                 mi_bins,
                 tracked.get(i).copied().flatten(),
+                cache.as_deref_mut().map(|c| (&mut c[i], emd_stride)),
                 worker,
                 chunk,
             );
@@ -580,7 +712,7 @@ impl FingerprintEngine {
                     }
                     let t0 = clock.as_deref().map(Clock::now_nanos);
                     eval_source_into(
-                        seq, functions, needs_emd, &emd_cfg, mi_bins, None, worker, chunk,
+                        seq, functions, needs_emd, &emd_cfg, mi_bins, None, None, worker, chunk,
                     );
                     if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
                         *nano += c.now_nanos().saturating_sub(t0);
@@ -614,26 +746,97 @@ impl FingerprintEngine {
         debug_assert_eq!(out.len(), self.extractor.schema().len());
     }
 
-    /// Populates the tracked-moment substitutes for window-membership
-    /// sources (features and labels; prediction-dependent sources cannot be
-    /// tracked because they change with the classifier). A no-op unless
-    /// incremental moments are enabled — an empty `tracked` vector means
-    /// every source takes the batch path.
-    fn fill_tracked_vals<M: MomentSource + ?Sized>(&mut self, window: &M) {
+    /// Populates the tracked substitutes for window-membership sources. A
+    /// no-op unless incremental moments or statistics are enabled — an
+    /// empty `tracked` vector means every source takes the batch path. With
+    /// incremental statistics on, each tracked source additionally carries
+    /// the evaluated sequence statistics, or `None` for them when the
+    /// window's state cannot honour the tolerance contract (see
+    /// [`crate::incremental`]).
+    ///
+    /// Features and labels are classifier-independent and substitute in
+    /// every mode. The prediction and error sources substitute only for
+    /// *non-repredicting* extraction (`repredict == false`): a repredicting
+    /// pass replaces the prediction sequence with the classifier's current
+    /// output, which the push-time banks do not describe. Error distances
+    /// are derived (not push-aligned) and always take the batch path.
+    fn fill_tracked_vals<M: FrameSource + MomentSource + StatSource + ?Sized>(
+        &mut self,
+        window: &M,
+        repredict: bool,
+    ) {
         debug_assert!(window.n_feature_moments() >= self.extractor.n_features());
         self.tracked.clear();
-        if !self.incremental_moments {
+        if !self.incremental_moments && !self.incremental_stats {
             return;
         }
+        let n = window.len();
+        let mi_bins = self.extractor.mi_bins();
+        let want_ext = self.incremental_stats;
         for &kind in &self.kinds {
             self.tracked.push(match kind {
                 SourceKind::Feature(j) => {
-                    Some(TrackedVals::from_moments(window.feature_moments(j)))
+                    let m = window.feature_moments(j);
+                    let mut tv = TrackedVals::from_moments(m);
+                    if want_ext {
+                        tv.ext = window
+                            .feature_stats(j)
+                            .and_then(|s| ext_vals(s, m, n, mi_bins, |i| window.features(i)[j]));
+                    }
+                    Some(tv)
                 }
-                SourceKind::Labels => Some(TrackedVals::from_moments(window.label_moments())),
+                SourceKind::Labels => {
+                    let m = window.label_moments();
+                    let mut tv = TrackedVals::from_moments(m);
+                    if want_ext {
+                        tv.ext = window
+                            .label_stats()
+                            .and_then(|s| ext_vals(s, m, n, mi_bins, |i| window.label(i) as f64));
+                    }
+                    Some(tv)
+                }
+                // Predictions and errors only carry moments inside the stat
+                // bank, so their substitution is available in full
+                // incremental-statistics mode only (moments-only mode keeps
+                // them on the batch sweep, as it always has).
+                SourceKind::Predictions if want_ext && !repredict => {
+                    window.prediction_track().map(|(m, s)| {
+                        let mut tv = TrackedVals::from_moments(m);
+                        tv.ext = ext_vals(s, m, n, mi_bins, |i| window.prediction(i) as f64);
+                        tv
+                    })
+                }
+                SourceKind::Errors if want_ext && !repredict => {
+                    window.error_track().map(|(m, s)| {
+                        let mut tv = TrackedVals::from_moments(m);
+                        tv.ext = ext_vals(s, m, n, mi_bins, |i| {
+                            if window.prediction(i) != window.label(i) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        });
+                        tv
+                    })
+                }
                 _ => None,
             });
         }
+    }
+
+    /// Selects (and lazily sizes) the EMD cache bank for a tracked
+    /// extraction from `src`; `None` when caching is off.
+    fn set_active_bank<S: StatSource + ?Sized>(&mut self, src: &S) {
+        self.active_bank = if self.incremental_stats {
+            let tag = src.window_tag().min(1);
+            let n = self.kinds.len();
+            if self.emd_cache[tag].len() != n {
+                self.emd_cache[tag] = vec![EmdSlot::default(); n];
+            }
+            Some(tag)
+        } else {
+            None
+        };
     }
 
     /// Shared extraction core over any frame source.
@@ -741,6 +944,7 @@ impl FingerprintEngine {
             .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
         let emd_cfg = *self.extractor.emd_config();
         let mi_bins = self.extractor.mi_bins();
+        let emd_stride = self.emd_stride;
         let tracked = &self.tracked;
         let seqs = &self.seqs;
         let clock = self.clock.clone();
@@ -749,6 +953,10 @@ impl FingerprintEngine {
             self.timed_extractions += clock.is_some() as u64;
         }
         let tracked_of = |i: usize| tracked.get(i).copied().flatten();
+        let mut cache = match self.active_bank {
+            Some(b) => Some(&mut self.emd_cache[b]),
+            None => None,
+        };
         let n_workers = self.threads.min(self.kinds.len());
         if n_workers <= 1 {
             if self.workers.is_empty() {
@@ -766,6 +974,7 @@ impl FingerprintEngine {
                     &emd_cfg,
                     mi_bins,
                     tracked_of(i),
+                    cache.as_deref_mut().map(|c| (&mut c[i], emd_stride)),
                     worker,
                     chunk,
                 );
@@ -777,25 +986,36 @@ impl FingerprintEngine {
             if self.workers.len() < n_workers {
                 self.workers.resize_with(n_workers, SourceScratch::default);
             }
+            let mut slots: Vec<Option<(&mut EmdSlot, u32)>> =
+                Vec::with_capacity(self.kinds.len());
+            match cache {
+                Some(c) => slots.extend(c.iter_mut().map(|s| Some((s, emd_stride)))),
+                None => slots.extend(self.kinds.iter().map(|_| None)),
+            }
             // Round-robin the sources over the workers; each work item owns
-            // a disjoint slice of `out` (and its own timing slot), so no
-            // synchronisation is needed and the result cannot depend on
-            // scheduling.
+            // a disjoint slice of `out` (and its own timing and EMD cache
+            // slots), so no synchronisation is needed and the result cannot
+            // depend on scheduling.
             let mut batches: Vec<Vec<SourceTask<'_>>> =
                 (0..n_workers).map(|_| Vec::new()).collect();
-            for (i, ((seq, chunk), nano)) in
-                seqs.iter().zip(out.chunks_mut(nf)).zip(nanos.iter_mut()).enumerate()
+            for ((i, ((seq, chunk), nano)), slot) in seqs
+                .iter()
+                .zip(out.chunks_mut(nf))
+                .zip(nanos.iter_mut())
+                .enumerate()
+                .zip(slots)
             {
-                batches[i % n_workers].push((seq, tracked_of(i), chunk, nano));
+                batches[i % n_workers].push((seq, tracked_of(i), slot, chunk, nano));
             }
             std::thread::scope(|scope| {
                 for (worker, batch) in self.workers.iter_mut().zip(batches) {
                     let clock = clock.clone();
                     scope.spawn(move || {
-                        for (seq, tv, chunk, nano) in batch {
+                        for (seq, tv, slot, chunk, nano) in batch {
                             let t0 = clock.as_deref().map(Clock::now_nanos);
                             eval_source_into(
-                                seq, functions, needs_emd, &emd_cfg, mi_bins, tv, worker, chunk,
+                                seq, functions, needs_emd, &emd_cfg, mi_bins, tv, slot, worker,
+                                chunk,
                             );
                             if let (Some(c), Some(t0)) = (clock.as_deref(), t0) {
                                 *nano += c.now_nanos().saturating_sub(t0);
@@ -814,13 +1034,52 @@ fn kind_is_static(kind: SourceKind) -> bool {
     matches!(kind, SourceKind::Feature(_) | SourceKind::Labels)
 }
 
+/// FNV-1a over the IEEE-754 bit patterns of a sequence, one 64-bit word
+/// per value. Identifies unchanged window contents for EMD reuse; a
+/// collision between two *different* windows of equal length is the only
+/// way the exact-reuse path can misfire, at odds of ~2⁻⁶⁴ per comparison.
+fn hash_seq(seq: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in seq {
+        h ^= x.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ seq.len() as u64
+}
+
+/// EMD with the per-source cache: an unchanged sequence (by content hash)
+/// reuses the previous sifting exactly; a changed one reuses the stale
+/// values while the slot is within its stride budget, and re-sifts
+/// otherwise.
+fn cached_imf(
+    seq: &[f64],
+    emd_cfg: &EmdConfig,
+    scratch: &mut EmdScratch,
+    slot: &mut EmdSlot,
+    stride: u32,
+) -> (f64, f64) {
+    let hash = hash_seq(seq);
+    if slot.valid && slot.len == seq.len() && slot.hash == hash {
+        return slot.vals;
+    }
+    if slot.valid && stride > 1 && slot.age + 1 < stride {
+        slot.age += 1;
+        return slot.vals;
+    }
+    let vals = imf_entropies_scratch(seq, emd_cfg, scratch);
+    *slot = EmdSlot { hash, len: seq.len(), vals, age: 0, valid: true };
+    vals
+}
+
 /// Evaluates one behaviour source's function block into `out`
 /// (`out.len() == functions.len()`).
 ///
 /// The moment statistics come from a fused two-pass sweep (or the tracked
 /// substitutes); the remaining functions run on the cached sequence with
-/// scratch-backed EMD and MI. Every value is bit-identical to the
-/// corresponding [`FingerprintExtractor::extract`] dimension.
+/// scratch-backed EMD and MI, unless the tracked substitutes carry the
+/// incrementally evaluated sequence statistics. With no substitutes and no
+/// EMD cache slot, every value is bit-identical to the corresponding
+/// [`FingerprintExtractor::extract`] dimension.
 #[allow(clippy::too_many_arguments)]
 fn eval_source_into(
     seq: &[f64],
@@ -829,14 +1088,19 @@ fn eval_source_into(
     emd_cfg: &EmdConfig,
     mi_bins: usize,
     tracked: Option<TrackedVals>,
+    emd_slot: Option<(&mut EmdSlot, u32)>,
     scratch: &mut SourceScratch,
     out: &mut [f64],
 ) {
     let imf = if needs_emd {
-        Some(imf_entropies_scratch(seq, emd_cfg, &mut scratch.emd))
+        Some(match emd_slot {
+            Some((slot, stride)) => cached_imf(seq, emd_cfg, &mut scratch.emd, slot, stride),
+            None => imf_entropies_scratch(seq, emd_cfg, &mut scratch.emd),
+        })
     } else {
         None
     };
+    let ext = tracked.and_then(|t| t.ext);
     let n = seq.len();
     let needs_moments = tracked.is_none()
         && functions.iter().any(|f| {
@@ -907,14 +1171,30 @@ fn eval_source_into(
                     }
                 }
             },
-            MetaFunction::Acf1 => autocorrelation(seq, 1),
-            MetaFunction::Acf2 => autocorrelation(seq, 2),
-            MetaFunction::Pacf1 => partial_autocorrelation(seq, 1),
-            MetaFunction::Pacf2 => partial_autocorrelation(seq, 2),
-            MetaFunction::MutualInformation => {
-                lagged_mutual_information_scratch(seq, 1, mi_bins, &mut scratch.mi)
-            }
-            MetaFunction::TurningPointRate => turning_point_rate(seq),
+            MetaFunction::Acf1 => match ext {
+                Some(e) => e.acf1,
+                None => autocorrelation(seq, 1),
+            },
+            MetaFunction::Acf2 => match ext {
+                Some(e) => e.acf2,
+                None => autocorrelation(seq, 2),
+            },
+            MetaFunction::Pacf1 => match ext {
+                Some(e) => e.pacf1,
+                None => partial_autocorrelation(seq, 1),
+            },
+            MetaFunction::Pacf2 => match ext {
+                Some(e) => e.pacf2,
+                None => partial_autocorrelation(seq, 2),
+            },
+            MetaFunction::MutualInformation => match ext {
+                Some(e) => e.mi,
+                None => lagged_mutual_information_scratch(seq, 1, mi_bins, &mut scratch.mi),
+            },
+            MetaFunction::TurningPointRate => match ext {
+                Some(e) => e.tpr,
+                None => turning_point_rate(seq),
+            },
             MetaFunction::ImfEntropy1 => imf.map_or(0.0, |(a, _)| a),
             MetaFunction::ImfEntropy2 => imf.map_or(0.0, |(_, b)| b),
             MetaFunction::FeatureImportance => {
@@ -1112,6 +1392,202 @@ mod tests {
                 (b - t).abs() <= 1e-9 * (1.0 + b.abs()),
                 "dim {i}: batch {b} vs tracked {t}"
             );
+        }
+    }
+
+    fn filled_windows(
+        rng: &mut Xoshiro256pp,
+        w: usize,
+        delay: usize,
+        d: usize,
+        steps: usize,
+        bins: usize,
+    ) -> ficsum_stream::FrameWindows {
+        let mut fw = ficsum_stream::FrameWindows::new(w, delay, d);
+        fw.enable_stats(bins);
+        for _ in 0..steps {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+            fw.push(&x, rng.random_range(0..2usize), rng.random_range(0..2usize));
+        }
+        fw
+    }
+
+    #[test]
+    fn incremental_stats_match_batch_closely() {
+        let mut rng = Xoshiro256pp::seed_from_u64(41);
+        let d = 3;
+        let ex = FingerprintExtractor::full(d);
+        let mut fast = FingerprintEngine::new(ex.clone()).with_incremental_stats(true);
+        let mut batch = FingerprintEngine::new(ex);
+        let tree = trained_tree(&mut rng, d);
+        let mut fw = ficsum_stream::FrameWindows::new(50, 10, d);
+        fw.enable_stats(8);
+        let mut out_fast = Vec::new();
+        let mut out_batch = Vec::new();
+        for step in 0..220 {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+            fw.push(&x, rng.random_range(0..2usize), rng.random_range(0..2usize));
+            if step % 13 != 0 || step < 5 {
+                continue;
+            }
+            for tag in 0..2 {
+                let (tracked, view) = if tag == 0 {
+                    (fw.a_tracked(), fw.a_view())
+                } else {
+                    if fw.stale_len() == 0 {
+                        continue;
+                    }
+                    (fw.stale_tracked(), fw.stale_view())
+                };
+                fast.extract_tracked_frames_repredicted_into(&tracked, &tree, &mut out_fast);
+                batch.extract_frames_repredicted_into(&view, &tree, &mut out_batch);
+                assert_eq!(out_fast.len(), out_batch.len());
+                for (i, (t, b)) in out_fast.iter().zip(&out_batch).enumerate() {
+                    assert!(
+                        (t - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "step {step} tag {tag} dim {i}: batch {b} vs incremental {t}"
+                    );
+                }
+                let nf = MetaFunction::SEQUENCE_FUNCTIONS.len();
+                // The substituted MI / turning-point dims and the cached
+                // (stride-1) EMD dims must be bit-identical, per source.
+                for s in 0..(d + 4) {
+                    for f in [8usize, 9, 10, 11] {
+                        assert_eq!(
+                            out_fast[s * nf + f].to_bits(),
+                            out_batch[s * nf + f].to_bits(),
+                            "step {step} tag {tag} source {s} fn {f}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_stats_cover_prediction_sources_without_reprediction() {
+        // Non-repredicting extraction keeps the push-time prediction
+        // sequence, so the prediction and error sources substitute from
+        // their stat banks too — within the same tolerance contract.
+        let mut rng = Xoshiro256pp::seed_from_u64(44);
+        let d = 3;
+        let ex = FingerprintExtractor::full(d);
+        let mut fast = FingerprintEngine::new(ex.clone()).with_incremental_stats(true);
+        let mut batch = FingerprintEngine::new(ex);
+        let mut fw = ficsum_stream::FrameWindows::new(50, 10, d);
+        fw.enable_stats(8);
+        let mut out_fast = Vec::new();
+        let mut out_batch = Vec::new();
+        for step in 0..220 {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+            fw.push(&x, rng.random_range(0..2usize), rng.random_range(0..2usize));
+            if step % 17 != 0 || step < 5 {
+                continue;
+            }
+            fast.extract_tracked_frames_into(&fw.a_tracked(), None, &mut out_fast);
+            batch.extract_frames_into(&fw.a_view(), None, &mut out_batch);
+            assert_eq!(out_fast.len(), out_batch.len());
+            for (i, (t, b)) in out_fast.iter().zip(&out_batch).enumerate() {
+                assert!(
+                    (t - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "step {step} dim {i}: batch {b} vs incremental {t}"
+                );
+            }
+            let nf = MetaFunction::SEQUENCE_FUNCTIONS.len();
+            for s in 0..(d + 4) {
+                for f in [8usize, 9, 10, 11] {
+                    assert_eq!(
+                        out_fast[s * nf + f].to_bits(),
+                        out_batch[s * nf + f].to_bits(),
+                        "step {step} source {s} fn {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_stats_parallel_matches_sequential() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let d = 4;
+        let ex = FingerprintExtractor::full(d);
+        let mut seq_engine =
+            FingerprintEngine::new(ex.clone()).with_incremental_stats(true).with_emd_stride(3);
+        let mut par_engine =
+            FingerprintEngine::new(ex).with_incremental_stats(true).with_emd_stride(3).with_threads(3);
+        let mut fw = filled_windows(&mut rng, 40, 5, d, 60, 8);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..10 {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+            fw.push(&x, rng.random_range(0..2usize), 0);
+            seq_engine.extract_tracked_frames_into(&fw.a_tracked(), None, &mut a);
+            par_engine.extract_tracked_frames_into(&fw.a_tracked(), None, &mut b);
+            assert_eq!(a, b, "cache decisions must be scheduling-independent");
+        }
+    }
+
+    #[test]
+    fn emd_stride_reuses_then_refreshes() {
+        let mut rng = Xoshiro256pp::seed_from_u64(43);
+        let d = 2;
+        let stride = 3u32;
+        let mut engine = FingerprintEngine::new(FingerprintExtractor::full(d))
+            .with_incremental_stats(true)
+            .with_emd_stride(stride);
+        assert_eq!(engine.emd_stride(), stride);
+        let mut batch = FingerprintEngine::new(FingerprintExtractor::full(d));
+        let mut fw = filled_windows(&mut rng, 30, 0, d, 40, 8);
+        let nf = MetaFunction::SEQUENCE_FUNCTIONS.len();
+        let emd_dims: Vec<usize> =
+            (0..d + 4).flat_map(|s| [s * nf + 10, s * nf + 11]).collect();
+        let mut out = Vec::new();
+        engine.extract_tracked_frames_into(&fw.a_tracked(), None, &mut out);
+        let first = out.clone();
+        let mut refreshed = false;
+        for round in 1..=(stride as usize) {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-2.0..2.0)).collect();
+            fw.push(&x, rng.random_range(0..2usize), 0);
+            engine.extract_tracked_frames_into(&fw.a_tracked(), None, &mut out);
+            let fresh = batch.extract(&{
+                let mut block = ficsum_stream::FrameBlock::new();
+                block.copy_from(&fw.a_view());
+                (0..block.len())
+                    .map(|i| LabeledObservation::new(
+                        block.features(i).to_vec(),
+                        block.label(i),
+                        block.prediction(i),
+                    ))
+                    .collect::<Vec<_>>()
+            }, None);
+            let stale = emd_dims.iter().all(|&i| out[i].to_bits() == first[i].to_bits());
+            let exact = emd_dims.iter().all(|&i| out[i].to_bits() == fresh[i].to_bits());
+            if round < stride as usize {
+                assert!(stale, "round {round}: within budget, entropies must be reused");
+            } else {
+                assert!(exact, "round {round}: stride exhausted, entropies must refresh");
+                refreshed = true;
+            }
+            // Non-EMD dims always track the live window.
+            assert!(
+                out.iter().zip(&fresh).enumerate().all(|(i, (a, b))| {
+                    emd_dims.contains(&i) || (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+                }),
+                "round {round}: substituted stats must track the window"
+            );
+        }
+        assert!(refreshed);
+        engine.invalidate_emd_cache();
+        engine.extract_tracked_frames_into(&fw.a_tracked(), None, &mut out);
+        // After invalidation the very next extraction re-sifts.
+        let contents: Vec<LabeledObservation> = (0..fw.a_len())
+            .map(|i| {
+                let v = fw.a_view();
+                LabeledObservation::new(v.features(i).to_vec(), v.label(i), v.prediction(i))
+            })
+            .collect();
+        let fresh = batch.extract(&contents, None);
+        for &i in &emd_dims {
+            assert_eq!(out[i].to_bits(), fresh[i].to_bits(), "dim {i} after invalidate");
         }
     }
 

@@ -18,7 +18,7 @@ use crate::autocorr::{autocorrelation, partial_autocorrelation};
 use crate::emd::{imf_entropies, EmdConfig};
 use crate::functions::{kurtosis, mean, skewness, std_dev, turning_point_rate, MetaFunction};
 use crate::mutual_info::lagged_mutual_information;
-use crate::sources::{behaviour_sources, source_sequence, SourceKind};
+use crate::sources::{behaviour_sources, source_sequence_into, SourceKind};
 
 /// Which behaviour sources participate in the fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -303,6 +303,8 @@ impl FingerprintExtractor {
             .iter()
             .any(|f| matches!(f, MetaFunction::ImfEntropy1 | MetaFunction::ImfEntropy2));
         let mut out = Vec::with_capacity(self.schema.len());
+        // One sequence buffer serves every behaviour source in turn.
+        let mut seq = Vec::with_capacity(window.len());
         for kind in behaviour_sources(self.n_features) {
             if !self.sources.includes(kind) {
                 continue;
@@ -310,7 +312,7 @@ impl FingerprintExtractor {
             if self.functions.is_empty() {
                 continue;
             }
-            let seq = source_sequence(window, kind);
+            source_sequence_into(window, kind, &mut seq);
             let imf = if needs_emd { Some(imf_entropies(&seq, &self.emd)) } else { None };
             for &function in &self.functions {
                 out.push(self.eval_function(function, &seq, &imf));

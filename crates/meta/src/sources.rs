@@ -42,11 +42,13 @@ impl SourceKind {
     }
 }
 
-/// Extracts the error-distance sequence: the gaps (in observations) between
-/// consecutive errors within the window. Matches the paper's worked example
-/// (errors `[0, 1, 1]` → distances `[1]`).
-pub fn error_distances(window: &[LabeledObservation]) -> Vec<f64> {
-    let mut out = Vec::new();
+/// Extracts the error-distance sequence into `out` (cleared first): the
+/// gaps (in observations) between consecutive errors within the window.
+/// Matches the paper's worked example (errors `[0, 1, 1]` → distances
+/// `[1]`). Reusing one buffer across calls makes repeated extraction
+/// allocation-free once the buffer has warmed to the window size.
+pub fn error_distances_into(window: &[LabeledObservation], out: &mut Vec<f64>) {
+    out.clear();
     let mut last: Option<usize> = None;
     for (i, o) in window.iter().enumerate() {
         if o.is_error() {
@@ -56,20 +58,44 @@ pub fn error_distances(window: &[LabeledObservation]) -> Vec<f64> {
             last = Some(i);
         }
     }
+}
+
+/// Allocating convenience wrapper around [`error_distances_into`].
+pub fn error_distances(window: &[LabeledObservation]) -> Vec<f64> {
+    let mut out = Vec::new();
+    error_distances_into(window, &mut out);
     out
 }
 
-/// Extracts the univariate sequence for one behaviour source.
-pub fn source_sequence(window: &[LabeledObservation], kind: SourceKind) -> Vec<f64> {
+/// Extracts the univariate sequence for one behaviour source into `out`
+/// (cleared first), reusing its capacity.
+pub fn source_sequence_into(window: &[LabeledObservation], kind: SourceKind, out: &mut Vec<f64>) {
     match kind {
-        SourceKind::Feature(j) => window.iter().map(|o| o.features()[j]).collect(),
-        SourceKind::Labels => window.iter().map(|o| o.label() as f64).collect(),
-        SourceKind::Predictions => window.iter().map(|o| o.prediction as f64).collect(),
-        SourceKind::Errors => {
-            window.iter().map(|o| if o.is_error() { 1.0 } else { 0.0 }).collect()
+        SourceKind::Feature(j) => {
+            out.clear();
+            out.extend(window.iter().map(|o| o.features()[j]));
         }
-        SourceKind::ErrorDistances => error_distances(window),
+        SourceKind::Labels => {
+            out.clear();
+            out.extend(window.iter().map(|o| o.label() as f64));
+        }
+        SourceKind::Predictions => {
+            out.clear();
+            out.extend(window.iter().map(|o| o.prediction as f64));
+        }
+        SourceKind::Errors => {
+            out.clear();
+            out.extend(window.iter().map(|o| if o.is_error() { 1.0 } else { 0.0 }));
+        }
+        SourceKind::ErrorDistances => error_distances_into(window, out),
     }
+}
+
+/// Allocating convenience wrapper around [`source_sequence_into`].
+pub fn source_sequence(window: &[LabeledObservation], kind: SourceKind) -> Vec<f64> {
+    let mut out = Vec::new();
+    source_sequence_into(window, kind, &mut out);
+    out
 }
 
 /// All `d + 4` behaviour sources in fingerprint order.
@@ -127,6 +153,21 @@ mod tests {
     fn no_errors_means_empty_distances() {
         let w = vec![LabeledObservation::new(vec![0.0], 1, 1); 5];
         assert!(error_distances(&w).is_empty());
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_capacity() {
+        let w = paper_window();
+        let mut buf = Vec::new();
+        for kind in behaviour_sources(2) {
+            source_sequence_into(&w, kind, &mut buf);
+            assert_eq!(buf, source_sequence(&w, kind), "{kind:?}");
+        }
+        let cap = buf.capacity();
+        for kind in behaviour_sources(2) {
+            source_sequence_into(&w, kind, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "warm buffer must not reallocate");
     }
 
     #[test]

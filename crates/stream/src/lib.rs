@@ -19,10 +19,15 @@ pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod window;
+pub mod winstats;
 
-pub use frames::{FrameBlock, FrameSource, FrameStore, FrameView, FrameWindows, MomentSource, TrackedFrames};
+pub use frames::{
+    FrameBlock, FrameSource, FrameStore, FrameView, FrameWindows, MomentSource, StatSource,
+    TrackedFrames,
+};
 pub use observation::{LabeledObservation, Observation};
 pub use rng::{RandomSource, Xoshiro256pp};
 pub use stats::{EwStats, MinMaxScaler, Moments, RunningStats};
+pub use winstats::SeqStats;
 pub use stream::{ConceptStream, StreamSource, VecStream};
 pub use window::{BufferedWindow, SlidingWindow, TrackedWindow};

@@ -195,6 +195,13 @@ impl Moments {
         (self.m2.max(0.0) / self.count as f64).sqrt()
     }
 
+    /// Unnormalised second central moment `Σ (x - mean)²` — the raw sum the
+    /// batch autocorrelation uses as its denominator. Exposed ungated so
+    /// incremental substitutions can apply the batch functions' own gates.
+    pub fn sum_sq_dev(&self) -> f64 {
+        self.m2
+    }
+
     /// Standardised skewness `m3 / m2^1.5` (population central moments);
     /// 0 with fewer than three values or near-zero variance.
     pub fn skewness(&self) -> f64 {

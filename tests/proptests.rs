@@ -356,3 +356,115 @@ fn concept_fingerprint_mean_is_bounded_by_inputs() {
         }
     });
 }
+
+#[test]
+fn incremental_stats_match_batch_through_evictions_and_resets() {
+    use ficsum::meta::{FingerprintEngine, MetaFunction};
+    use ficsum::stream::FrameWindows;
+    // The incremental-statistics tolerance contract (DESIGN.md "Incremental
+    // statistics") over long randomized streams: every substituted
+    // statistic must track the batch sweep within 1e-9 relative across
+    // window fill, steady-state evictions and buffer resets, and the
+    // discrete dimensions (lagged MI, turning-point rate) plus the cached
+    // IMF entropies must stay bit-exact at stride 1. Both windows are
+    // probed; the active window uses the non-repredicting extraction so
+    // the prediction and error banks are exercised too.
+    for case in 0..6u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x14C2_3000 + case);
+        let d = rng.random_range(2..5usize);
+        let w = rng.random_range(20..60usize);
+        let delay = rng.random_range(0..15usize);
+        let ex = FingerprintExtractor::full(d);
+        let bins = ex.mi_bins();
+        let mut fast = FingerprintEngine::new(ex.clone()).with_incremental_stats(true);
+        let mut batch = FingerprintEngine::new(ex);
+        let mut fw = FrameWindows::new(w, delay, d);
+        fw.enable_stats(bins);
+        let nf = MetaFunction::SEQUENCE_FUNCTIONS.len();
+        let (mut out_fast, mut out_batch) = (Vec::new(), Vec::new());
+        let mut compared = 0usize;
+        for step in 0..1_000usize {
+            let x: Vec<f64> = (0..d).map(|_| rng.random_range(-50.0..50.0)).collect();
+            fw.push(&x, rng.random_range(0..3usize), rng.random_range(0..3usize));
+            if rng.random_range(0..150usize) == 0 {
+                // The drift path's stale-window restart.
+                fw.clear_buffer();
+            }
+            if step % 13 != 0 {
+                continue;
+            }
+            let mut check = |fast: &mut FingerprintEngine,
+                             batch: &mut FingerprintEngine,
+                             tracked: ficsum::stream::TrackedFrames<'_>,
+                             view: ficsum::stream::FrameView<'_>,
+                             which: &str| {
+                fast.extract_tracked_frames_into(&tracked, None, &mut out_fast);
+                batch.extract_frames_into(&view, None, &mut out_batch);
+                assert_eq!(out_fast.len(), out_batch.len());
+                for (i, (t, b)) in out_fast.iter().zip(&out_batch).enumerate() {
+                    assert!(
+                        (t - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "case {case} step {step} {which} dim {i}: batch {b} vs incremental {t}"
+                    );
+                }
+                for s in 0..(d + 4) {
+                    for f in [8usize, 9, 10, 11] {
+                        assert_eq!(
+                            out_fast[s * nf + f].to_bits(),
+                            out_batch[s * nf + f].to_bits(),
+                            "case {case} step {step} {which} source {s} fn {f}"
+                        );
+                    }
+                }
+            };
+            if fw.a_len() >= 4 {
+                check(&mut fast, &mut batch, fw.a_tracked(), fw.a_view(), "active");
+                compared += 1;
+            }
+            if fw.stale_len() >= 4 {
+                check(&mut fast, &mut batch, fw.stale_tracked(), fw.stale_view(), "stale");
+            }
+        }
+        assert!(compared > 50, "case {case} barely extracted ({compared})");
+    }
+}
+
+#[test]
+fn incremental_stats_checkpoint_restore_replays_bit_identical() {
+    use ficsum::core::{FicsumConfig, SessionTemplate, Variant};
+    // The restore contract must survive the incremental-statistics mode:
+    // the checkpoint carries the frame windows' stat banks verbatim and
+    // `enable_stats` keeps them untouched on rehydration, so a restored
+    // session replays bit-identically to the uninterrupted original. Runs
+    // at the default EMD stride (1), where the entropy cache is a pure
+    // content-hash memo and an empty cache recomputes the same bits.
+    for case in 0..8u64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xE5D0_4000 + case);
+        let config = FicsumConfig::default()
+            .with_window_size(rng.random_range(30..80usize))
+            .with_fingerprint_gap(rng.random_range(3..10usize))
+            .with_repository_gap(rng.random_range(40..90usize));
+        let template = SessionTemplate::new(3, 2, config, Variant::Full)
+            .expect("sampled configs are within validated ranges")
+            .with_incremental_stats(true);
+        let mut original = template.instantiate();
+        let cut = rng.random_range(50..700usize);
+        for _ in 0..cut {
+            let x: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = rng.random_range(0..2usize);
+            original.process(&x, y);
+        }
+        let checkpoint = original.checkpoint();
+        let mut restored = template
+            .restore(&checkpoint)
+            .expect("a checkpoint from this template always restores");
+        for step in 0..1_000usize {
+            let x: Vec<f64> = (0..3).map(|_| rng.random_range(0.0..1.0)).collect();
+            let y = rng.random_range(0..2usize);
+            let a = original.process(&x, y);
+            let b = restored.process(&x, y);
+            assert_eq!(a, b, "case {case} (cut {cut}) diverged at step {step}");
+        }
+        assert_eq!(original.stats(), restored.stats(), "case {case} stats diverged");
+    }
+}
